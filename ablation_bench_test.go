@@ -1,0 +1,268 @@
+package treaty
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: group
+// commit, lock-table sharding, stabilization batching, and host-memory vs
+// enclave-resident buffers (EPC pressure). Each compares configurations
+// of the same module so the effect of one mechanism is isolated.
+//
+//	go test -bench=BenchmarkAblation -benchtime=1x
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"treaty/internal/bench"
+	"treaty/internal/core"
+	"treaty/internal/enclave"
+	"treaty/internal/lsm"
+	"treaty/internal/seal"
+	"treaty/internal/txn"
+	"treaty/internal/workload"
+)
+
+// BenchmarkAblation_GroupCommit compares commits with the group-commit
+// leader (§VII-B) against one-WAL-sync-per-transaction.
+func BenchmarkAblation_GroupCommit(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "grouped"
+		if disable {
+			name = "per-txn-sync"
+		}
+		b.Run(name, func(b *testing.B) {
+			key, err := seal.NewRandomKey()
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := lsm.Open(lsm.Options{
+				Dir: b.TempDir(), Level: seal.LevelEncrypted, Key: key,
+				DisableGroupCommit: disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			mgr := txn.NewManager(txn.Config{DB: db, LockTimeout: 2 * time.Second})
+
+			gen := workload.NewYCSB(workload.YCSBConfig{ReadRatio: 0, OpsPerTxn: 5, ValueSize: 200, Keys: 5000}, 1)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				local := workload.NewYCSB(workload.YCSBConfig{ReadRatio: 0, OpsPerTxn: 5, ValueSize: 200, Keys: 5000}, 2)
+				for pb.Next() {
+					t := mgr.BeginPessimistic(nil)
+					for _, op := range local.NextTxn() {
+						if err := t.Put(op.Key, op.Value); err != nil {
+							t.Rollback()
+							break
+						}
+					}
+					_ = t.Commit()
+				}
+			})
+			_ = gen
+		})
+	}
+}
+
+// BenchmarkAblation_LockShards sweeps the lock-table shard count (§V-B:
+// "TREATY runs with a big number of shards to avoid locking
+// bottlenecks").
+func BenchmarkAblation_LockShards(b *testing.B) {
+	for _, shards := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			lt := txn.NewLockTable(shards, time.Second)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					key := fmt.Sprintf("key-%d", i%1000)
+					if err := lt.Acquire(uint64(i+1), key, txn.LockExclusive, nil); err == nil {
+						lt.Release(uint64(i+1), key)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblation_StabilizationBatching compares per-commit counter
+// waits against the asynchronous batched interface: N commits that each
+// wait individually vs N commits that share stabilization rounds.
+func BenchmarkAblation_StabilizationBatching(b *testing.B) {
+	const commits = 64
+	const latency = 500 * time.Microsecond
+	b.Run("batched-async", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr := newSlowCounter(latency)
+			// All commits stabilize through one handle; the pump batches.
+			done := make(chan error, commits)
+			for c := 0; c < commits; c++ {
+				v := uint64(c + 1)
+				ctr.Stabilize(v)
+				go func() { done <- ctr.WaitStable(v) }()
+			}
+			for c := 0; c < commits; c++ {
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctr.close()
+		}
+	})
+	b.Run("per-commit-round", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Every commit pays a full protocol round.
+			for c := 0; c < commits; c++ {
+				time.Sleep(latency)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_HostVsEnclaveBuffers measures the EPC paging penalty
+// of keeping large buffers in enclave memory instead of (encrypted) host
+// memory — the reason message buffers and values live outside (§VII-D).
+func BenchmarkAblation_HostVsEnclaveBuffers(b *testing.B) {
+	const bufSize = 1 << 20
+	for _, host := range []bool{true, false} {
+		name := "host-memory"
+		if !host {
+			name = "enclave-memory"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := enclave.NewRuntime(enclave.RuntimeConfig{
+				Mode:      enclave.ModeScone,
+				EPCBudget: 8 << 20, // small EPC: pressure shows quickly
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if host {
+					rt.AllocHost(bufSize)
+					rt.FreeHost(bufSize)
+				} else {
+					rt.AllocEnclave(bufSize)
+					rt.TouchEnclave(bufSize)
+					rt.FreeEnclave(bufSize)
+				}
+			}
+			b.ReportMetric(float64(rt.Stats().PageFaults)/float64(b.N), "pagefaults/op")
+		})
+	}
+}
+
+// BenchmarkAblation_SecurityLevels isolates the storage-engine cost of
+// each security level with no concurrency: one writer, sequential
+// commits.
+func BenchmarkAblation_SecurityLevels(b *testing.B) {
+	for _, mode := range []core.SecurityMode{core.ModeRocksDB, core.ModeNativeTreaty, core.ModeNativeTreatyEnc} {
+		b.Run(mode.String(), func(b *testing.B) {
+			key, err := seal.NewRandomKey()
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := lsm.Open(lsm.Options{Dir: b.TempDir(), Level: mode.StorageLevel(), Key: key})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			value := make([]byte, 1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := lsm.NewBatch()
+				batch.Put(fmt.Appendf(nil, "key-%08d", i), value)
+				if _, _, err := db.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_NetworkSecurity isolates the RPC-layer cost of
+// sealing: echo round trips with and without the secure message format.
+func BenchmarkAblation_NetworkSecurity(b *testing.B) {
+	for _, fig := range []bench.Fig4Version{
+		{Label: "plain", Scone: false, Enc: false},
+		{Label: "sealed", Scone: false, Enc: true},
+	} {
+		b.Run(fig.Label, func(b *testing.B) {
+			ms, err := bench.RunFig4(bench.Fig4Config{Clients: 8, Duration: 300 * time.Millisecond, OpsPerTxn: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx := 0
+			if fig.Enc {
+				idx = 1
+			}
+			b.ReportMetric(ms[idx].Tps, "tps")
+		})
+	}
+}
+
+// slowCounter stabilizes values after a latency, batching all pending
+// values into one "round" — a miniature of the counter client's pump.
+type slowCounter struct {
+	latency time.Duration
+	done    chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending uint64
+	stable  uint64
+}
+
+func newSlowCounter(latency time.Duration) *slowCounter {
+	c := &slowCounter{latency: latency, done: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	go c.pump()
+	return c
+}
+
+func (c *slowCounter) pump() {
+	for {
+		c.mu.Lock()
+		for c.pending <= c.stable {
+			select {
+			case <-c.done:
+				c.mu.Unlock()
+				return
+			default:
+			}
+			c.cond.Wait()
+		}
+		target := c.pending
+		c.mu.Unlock()
+		time.Sleep(c.latency) // one protocol round covers the whole batch
+		c.mu.Lock()
+		if target > c.stable {
+			c.stable = target
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+func (c *slowCounter) Stabilize(v uint64) {
+	c.mu.Lock()
+	if v > c.pending {
+		c.pending = v
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *slowCounter) WaitStable(v uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.stable < v {
+		c.cond.Wait()
+	}
+	return nil
+}
+
+func (c *slowCounter) close() {
+	close(c.done)
+	c.cond.Broadcast()
+}

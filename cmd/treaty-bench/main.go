@@ -1,0 +1,131 @@
+// Command treaty-bench regenerates the paper's evaluation (§VIII): every
+// figure and table, printed in the paper's structure. By default it runs
+// everything; -exp selects one experiment.
+//
+// Usage:
+//
+//	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1]
+//	             [-duration 2s] [-clients 32] [-entries 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"treaty/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, fig7, fig8, table1")
+	duration := flag.Duration("duration", 2*time.Second, "measurement duration per version")
+	clients := flag.Int("clients", 32, "concurrent clients")
+	entries := flag.Int("entries", 200000, "log entries for the recovery experiment (paper: 800000)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("Treaty evaluation harness — reproducing DSN'22 Figures 3-8 and Table I")
+	fmt.Println("(absolute numbers are from the in-process simulated testbed; compare shapes)")
+	fmt.Println()
+
+	run("fig4", func() error {
+		ms, err := bench.RunFig4(bench.Fig4Config{Clients: *clients, Duration: *duration})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintFig4(ms))
+		return nil
+	})
+
+	run("fig5", func() error {
+		for _, ratio := range []float64{0.2, 0.8} {
+			ms, err := bench.RunFig5(bench.DistConfig{Clients: *clients, Duration: *duration}, ratio)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.PrintFig5(ratio, ms))
+		}
+		return nil
+	})
+
+	run("fig3", func() error {
+		for _, w := range []int{10, 100} {
+			ms, err := bench.RunFig3(bench.DistConfig{Clients: *clients, Duration: *duration}, w)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.PrintFig3(w, ms))
+		}
+		return nil
+	})
+
+	run("fig6", func() error {
+		ms, err := bench.RunSingleTPCC(bench.SingleConfig{Clients: *clients / 2, Duration: *duration}, false)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintFig6("TPC-C (10W)", ms))
+		for _, ratio := range []float64{0.2, 0.8} {
+			ms, err := bench.RunSingleYCSB(bench.SingleConfig{Clients: *clients / 2, Duration: *duration}, ratio, false)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.PrintFig6(fmt.Sprintf("YCSB %.0f%%R", ratio*100), ms))
+		}
+		return nil
+	})
+
+	run("fig7", func() error {
+		ms, err := bench.RunSingleTPCC(bench.SingleConfig{Clients: *clients / 2, Duration: *duration}, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintFig7("TPC-C (10W)", ms))
+		ms, err = bench.RunSingleYCSB(bench.SingleConfig{Clients: *clients / 2, Duration: *duration}, 0.8, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintFig7("YCSB 80%R", ms))
+		return nil
+	})
+
+	run("fig8", func() error {
+		series, err := bench.RunFig8(*duration / 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintFig8(series))
+		return nil
+	})
+
+	run("table1", func() error {
+		rs, err := bench.RunTableI(bench.RecoveryConfig{Entries: *entries})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintTableI(rs))
+		return nil
+	})
+
+	if *exp != "all" {
+		switch *exp {
+		case "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

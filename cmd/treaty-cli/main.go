@@ -1,0 +1,59 @@
+// Command treaty-cli is an interactive client for treaty-server: a small
+// REPL speaking the server's line protocol.
+//
+//	treaty-cli [-addr 127.0.0.1:7654]
+//	> BEGIN
+//	OK
+//	> PUT user:1 alice
+//	OK
+//	> COMMIT
+//	OK committed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:7654", "treaty-server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatalf("connecting to %s: %v", *addr, err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s — commands: BEGIN, GET k, PUT k v, DEL k, COMMIT, ROLLBACK, QUIT\n", *addr)
+
+	server := bufio.NewScanner(conn)
+	server.Buffer(make([]byte, 1<<20), 1<<20)
+	stdin := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			fmt.Fprintln(conn, "QUIT")
+			return
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		if !server.Scan() {
+			log.Fatal("server closed the connection")
+		}
+		fmt.Println(server.Text())
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+	}
+}

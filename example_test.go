@@ -1,0 +1,69 @@
+package treaty_test
+
+import (
+	"fmt"
+	"log"
+
+	"treaty"
+)
+
+// Example boots a full-security cluster, runs one distributed
+// transaction through an authenticated client, and reads it back.
+func Example() {
+	cluster, err := treaty.NewCluster(treaty.ClusterOptions{
+		Nodes: 3,
+		Mode:  treaty.ModeSconeEncStab,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	tx, err := client.BeginTxn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.TxnPut([]byte("greeting"), []byte("hello, enclave")); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.TxnCommit(); err != nil {
+		log.Fatal(err)
+	}
+
+	tx2, err := client.BeginTxn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, found, err := tx2.TxnGet([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(found, string(v))
+	_ = tx2.TxnRollback()
+	// Output: true hello, enclave
+}
+
+// ExampleCluster_NewClient shows client authentication: credentials are
+// registered with the CAS, which releases the network key only after a
+// successful key exchange.
+func ExampleCluster_NewClient() {
+	cluster, err := treaty.NewCluster(treaty.ClusterOptions{Nodes: 3, Mode: treaty.ModeSconeEnc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	fmt.Println("authenticated")
+	// Output: authenticated
+}

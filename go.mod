@@ -1,0 +1,3 @@
+module treaty
+
+go 1.22

@@ -1,0 +1,249 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+// testbed wires an IAS, a CAS, and one node platform with a LAS.
+type testbed struct {
+	ias    *IAS
+	cas    *CAS
+	plat   *enclave.Platform
+	las    *LAS
+	config ClusterConfig
+}
+
+func newTestbed(t *testing.T) *testbed {
+	t.Helper()
+	ias := NewIAS()
+	plat, err := enclave.NewPlatform("node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(plat)
+
+	netKey, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	storKey, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{
+		NetworkKey:      netKey,
+		StorageKey:      storKey,
+		Nodes:           []string{"node-1:9000", "node-2:9000", "node-3:9000"},
+		CounterReplicas: []string{"ctr-1", "ctr-2", "ctr-3"},
+	}
+	cas := NewCAS(ias, enclave.MeasureCode("treaty-node"), cfg)
+
+	las, err := NewLAS(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cas.DeployLAS(las); err != nil {
+		t.Fatal(err)
+	}
+	return &testbed{ias: ias, cas: cas, plat: plat, las: las, config: cfg}
+}
+
+func launchInstance(t *testing.T, tb *testbed, identity string) *Instance {
+	t.Helper()
+	encl, err := tb.plat.Launch(identity, enclave.RuntimeConfig{Mode: enclave.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(encl, tb.las)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestFullAttestationFlow(t *testing.T) {
+	tb := newTestbed(t)
+	inst := launchInstance(t, tb, "treaty-node")
+
+	resp, err := tb.cas.Attest(inst.Request())
+	if err != nil {
+		t.Fatalf("Attest: %v", err)
+	}
+	got, err := inst.OpenResponse(resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	if got.NetworkKey != tb.config.NetworkKey || got.StorageKey != tb.config.StorageKey {
+		t.Error("provisioned keys do not match")
+	}
+	if len(got.Nodes) != 3 || got.Nodes[1] != "node-2:9000" {
+		t.Errorf("nodes = %v", got.Nodes)
+	}
+	if len(got.CounterReplicas) != 3 {
+		t.Errorf("counter replicas = %v", got.CounterReplicas)
+	}
+}
+
+func TestWrongMeasurementRejected(t *testing.T) {
+	tb := newTestbed(t)
+	malware := launchInstance(t, tb, "treaty-node-evil")
+	if _, err := tb.cas.Attest(malware.Request()); !errors.Is(err, ErrWrongMeasurement) {
+		t.Errorf("got %v, want ErrWrongMeasurement", err)
+	}
+}
+
+func TestUnknownPlatformRejected(t *testing.T) {
+	tb := newTestbed(t)
+	rogue, err := enclave.NewPlatform("rogue-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rogue platform never registered with IAS; even with a local LAS
+	// object it must fail.
+	rogueLAS, err := NewLAS(rogue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.cas.DeployLAS(rogueLAS); !errors.Is(err, ErrUnknownPlatform) {
+		t.Errorf("rogue LAS deploy: got %v, want ErrUnknownPlatform", err)
+	}
+	encl, err := rogue.Launch("treaty-node", enclave.RuntimeConfig{Mode: enclave.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(encl, rogueLAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.cas.Attest(inst.Request()); !errors.Is(err, ErrQuoteRejected) {
+		t.Errorf("rogue attest: got %v, want ErrQuoteRejected", err)
+	}
+}
+
+func TestNoLASRejected(t *testing.T) {
+	ias := NewIAS()
+	plat, err := enclave.NewPlatform("node-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(plat)
+	cas := NewCAS(ias, enclave.MeasureCode("treaty-node"), ClusterConfig{})
+	las, err := NewLAS(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LAS never deployed to the CAS.
+	encl, err := plat.Launch("treaty-node", enclave.RuntimeConfig{Mode: enclave.ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(encl, las)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cas.Attest(inst.Request()); !errors.Is(err, ErrQuoteRejected) {
+		t.Errorf("got %v, want ErrQuoteRejected (no LAS)", err)
+	}
+}
+
+func TestStolenQuoteCannotRedirectKeys(t *testing.T) {
+	// An attacker relaying a genuine quote but substituting their own
+	// public key must fail: the quote binds the original key.
+	tb := newTestbed(t)
+	inst := launchInstance(t, tb, "treaty-node")
+	req := inst.Request()
+
+	attacker, err := NewClientSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &AttestationRequest{Quote: req.Quote, PublicKey: attacker.PublicKey()}
+	if _, err := tb.cas.Attest(forged); !errors.Is(err, ErrQuoteRejected) {
+		t.Errorf("got %v, want ErrQuoteRejected", err)
+	}
+}
+
+func TestProvisionedConfigConfidential(t *testing.T) {
+	tb := newTestbed(t)
+	inst := launchInstance(t, tb, "treaty-node")
+	resp, err := tb.cas.Attest(inst.Request())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sealed config must not leak the network key in plaintext.
+	for i := 0; i+seal.KeySize <= len(resp.SealedConfig); i++ {
+		if seal.Key(resp.SealedConfig[i:i+seal.KeySize]) == tb.config.NetworkKey {
+			t.Fatal("network key leaked in sealed config")
+		}
+	}
+	// A different instance (different key) cannot open this response.
+	other := launchInstance(t, tb, "treaty-node")
+	if _, err := other.OpenResponse(resp); err == nil {
+		t.Error("response must be bound to the requesting instance")
+	}
+}
+
+func TestClientAuthentication(t *testing.T) {
+	tb := newTestbed(t)
+	tb.cas.RegisterClient("client-7", []byte("s3cret"))
+
+	sess, err := NewClientSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tb.cas.AuthenticateClient("client-7", []byte("s3cret"), sess.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sess.OpenResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NetworkKey != tb.config.NetworkKey {
+		t.Error("client must receive the network key")
+	}
+	if cfg.StorageKey == tb.config.StorageKey {
+		t.Error("clients must NOT receive the storage key")
+	}
+}
+
+func TestClientBadCredentials(t *testing.T) {
+	tb := newTestbed(t)
+	tb.cas.RegisterClient("client-7", []byte("s3cret"))
+	sess, err := NewClientSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.cas.AuthenticateClient("client-7", []byte("wrong"), sess.PublicKey()); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("got %v, want ErrBadCredentials", err)
+	}
+	if _, err := tb.cas.AuthenticateClient("nobody", []byte("s3cret"), sess.PublicKey()); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("got %v, want ErrBadCredentials", err)
+	}
+}
+
+func TestConfigCodecRoundTrip(t *testing.T) {
+	in := ClusterConfig{
+		Nodes:           []string{"a:1", "bb:22", ""},
+		CounterReplicas: []string{"x"},
+	}
+	in.NetworkKey[0] = 0xAA
+	in.StorageKey[31] = 0xBB
+	out, err := decodeConfig(encodeConfig(&in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NetworkKey != in.NetworkKey || out.StorageKey != in.StorageKey {
+		t.Error("keys mismatch")
+	}
+	if len(out.Nodes) != 3 || out.Nodes[1] != "bb:22" || out.Nodes[2] != "" {
+		t.Errorf("nodes = %v", out.Nodes)
+	}
+	if len(out.CounterReplicas) != 1 || out.CounterReplicas[0] != "x" {
+		t.Errorf("replicas = %v", out.CounterReplicas)
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment smoke tests run each harness at miniature scale and
+// assert structural properties (right versions, sane numbers) plus the
+// most robust shape properties (native faster than SCONE, UDP zero over
+// MTU). Full-scale runs live in the repository-root benchmarks.
+
+func TestFig4Shape(t *testing.T) {
+	ms, err := RunFig4(Fig4Config{Clients: 8, Duration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("versions = %d, want 4", len(ms))
+	}
+	if ms[0].Label != "Native 2PC" || ms[3].Label != "Secure w/ Enc" {
+		t.Errorf("labels = %v, %v", ms[0].Label, ms[3].Label)
+	}
+	for _, m := range ms {
+		if m.Tps <= 0 {
+			t.Errorf("%s: zero throughput", m.Label)
+		}
+	}
+	// SCONE versions must be slower than native.
+	if ms[2].Tps >= ms[0].Tps {
+		t.Errorf("Secure w/o Enc (%.0f tps) should be slower than Native (%.0f tps)", ms[2].Tps, ms[0].Tps)
+	}
+	out := PrintFig4(ms)
+	if !strings.Contains(out, "Figure 4") {
+		t.Error("printout missing title")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	ms, err := RunFig5(DistConfig{Clients: 6, Duration: 400 * time.Millisecond}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("versions = %d, want 4", len(ms))
+	}
+	if ms[0].Label != "DS-RocksDB" {
+		t.Errorf("baseline label = %s", ms[0].Label)
+	}
+	for _, m := range ms {
+		if m.Committed == 0 {
+			t.Errorf("%s committed no transactions", m.Label)
+		}
+	}
+	// Treaty w/ Enc must be slower than DS-RocksDB.
+	if ms[2].Tps >= ms[0].Tps {
+		t.Errorf("Treaty w/ Enc (%.0f) should be slower than DS-RocksDB (%.0f)", ms[2].Tps, ms[0].Tps)
+	}
+	t.Log("\n" + PrintFig5(0.8, ms))
+}
+
+func TestFig3Shape(t *testing.T) {
+	ms, err := RunFig3(DistConfig{Clients: 4, Duration: 400 * time.Millisecond}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("versions = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.Committed == 0 {
+			t.Errorf("%s committed no TPC-C transactions", m.Label)
+		}
+	}
+	t.Log("\n" + PrintFig3(2, ms))
+}
+
+func TestFig6And7Shape(t *testing.T) {
+	for _, optimistic := range []bool{false, true} {
+		ms, err := RunSingleYCSB(SingleConfig{Clients: 4, Duration: 400 * time.Millisecond}, 0.8, optimistic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 6 {
+			t.Fatalf("versions = %d, want 6", len(ms))
+		}
+		if ms[0].Label != "RocksDB" || ms[5].Label != "Treaty w/ Enc w/ Stab" {
+			t.Errorf("labels: %s ... %s", ms[0].Label, ms[5].Label)
+		}
+		for _, m := range ms {
+			if m.Committed == 0 {
+				t.Errorf("optimistic=%v %s committed nothing", optimistic, m.Label)
+			}
+		}
+		// The stabilized version waits real counter latency per commit;
+		// it must be decisively slower than the native baseline even in
+		// a short, noisy run. (The intermediate versions' ordering is
+		// asserted statistically by the full-length benchmarks.)
+		if ms[5].Tps >= ms[0].Tps {
+			t.Errorf("optimistic=%v: Treaty w/ Enc w/ Stab (%.0f) should be slower than RocksDB (%.0f)",
+				optimistic, ms[5].Tps, ms[0].Tps)
+		}
+	}
+}
+
+func TestSingleTPCCShape(t *testing.T) {
+	ms, err := RunSingleTPCC(SingleConfig{Clients: 4, Duration: 300 * time.Millisecond}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("versions = %d, want 6", len(ms))
+	}
+	for _, m := range ms {
+		if m.Committed == 0 {
+			t.Errorf("%s committed nothing", m.Label)
+		}
+	}
+	t.Log("\n" + PrintFig6("TPC-C", ms))
+}
+
+func TestFig8Shape(t *testing.T) {
+	series, err := RunFig8(80 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("systems = %d, want 7", len(series))
+	}
+	sizes := Fig8Sizes()
+	udp := series["iPerf UDP"]
+	for i, size := range sizes {
+		if size > 1460 && udp[i] != 0 {
+			t.Errorf("UDP at %dB = %.2f Gb/s, want 0 (over MTU)", size, udp[i])
+		}
+	}
+	// The shape assertions use the 4 KiB point, where the modelled gaps
+	// are widest (per-segment and per-copy costs scale with size); the
+	// mid-size points are too close to assert reliably in short windows.
+	last := len(sizes) - 1
+	// SCONE TCP slower than native TCP.
+	tcp, tcpScone := series["iPerf TCP"], series["iPerf TCP (Scone)"]
+	if tcpScone[last] >= tcp[last] {
+		t.Errorf("TCP scone (%.2f) should be slower than native (%.2f)", tcpScone[last], tcp[last])
+	}
+	// eRPC in SCONE faster than TCP in SCONE (fewer copies, no syscalls).
+	erpcScone := series["eRPC (Scone)"]
+	if erpcScone[last] <= tcpScone[last] {
+		t.Errorf("eRPC scone (%.2f) should beat TCP scone (%.2f)", erpcScone[last], tcpScone[last])
+	}
+	t.Log("\n" + PrintFig8(series))
+}
+
+func TestTableIShape(t *testing.T) {
+	rs, err := RunTableI(RecoveryConfig{Entries: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("versions = %d, want 3", len(rs))
+	}
+	if rs[0].Label != "Native recovery" {
+		t.Errorf("baseline = %s", rs[0].Label)
+	}
+	// Encrypted recovery must be slower than native.
+	if rs[2].Duration <= rs[0].Duration {
+		t.Errorf("encrypted recovery (%v) should exceed native (%v)", rs[2].Duration, rs[0].Duration)
+	}
+	// Encrypted logs are bigger than plaintext logs.
+	if rs[2].LogBytes <= rs[0].LogBytes {
+		t.Errorf("encrypted logs (%d) should exceed native (%d)", rs[2].LogBytes, rs[0].LogBytes)
+	}
+	t.Log("\n" + PrintTableI(rs))
+}
+
+func TestMeasurementSlowdown(t *testing.T) {
+	base := Measurement{Tps: 100}
+	m := Measurement{Tps: 25}
+	if got := m.Slowdown(base); got != 4 {
+		t.Errorf("slowdown = %v, want 4", got)
+	}
+	if got := (Measurement{}).Slowdown(base); got != 0 {
+		t.Errorf("zero tps slowdown = %v", got)
+	}
+}
+
+func TestDriveCountsOutcomes(t *testing.T) {
+	n := 0
+	m := drive(2, 50*time.Millisecond, func(int) error {
+		n++
+		if n%3 == 0 {
+			return errTest
+		}
+		return nil
+	})
+	if m.Committed == 0 || m.Aborted == 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if m.Tps <= 0 {
+		t.Error("tps must be positive")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

@@ -1,0 +1,128 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§VIII). Each experiment spins up
+// the system under test in-process (the simulated testbed), drives it
+// with the paper's workload at the paper's parameters, and reports
+// throughput and latency in the same structure as the paper — absolute
+// numbers differ (simulator vs the authors' SGX cluster), the *shape*
+// (who wins, by what factor) is the reproduction target.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Measurement is one experiment cell: throughput and latency for one
+// system version under one workload.
+type Measurement struct {
+	// Label names the system version (e.g. "Treaty w/ Enc").
+	Label string
+	// Tps is committed transactions per second.
+	Tps float64
+	// AvgLatencyMs and P99LatencyMs summarize commit latency.
+	AvgLatencyMs float64
+	P99LatencyMs float64
+	// Committed and Aborted count transaction outcomes.
+	Committed uint64
+	Aborted   uint64
+}
+
+// Slowdown returns base.Tps / m.Tps (the paper's "slowdown w.r.t. X").
+func (m Measurement) Slowdown(base Measurement) float64 {
+	if m.Tps == 0 {
+		return 0
+	}
+	return base.Tps / m.Tps
+}
+
+// drive runs nClients concurrent workers for duration; each worker calls
+// work(workerID) repeatedly — one call is one transaction attempt
+// returning (committed, error). Latency is measured per attempt.
+func drive(nClients int, duration time.Duration, work func(worker int) error) Measurement {
+	var mu sync.Mutex
+	var lats []time.Duration
+	var committed, aborted uint64
+
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	for w := 0; w < nClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var localLat []time.Duration
+			var localC, localA uint64
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				err := work(w)
+				lat := time.Since(t0)
+				if err != nil {
+					localA++
+					continue
+				}
+				localC++
+				localLat = append(localLat, lat)
+			}
+			mu.Lock()
+			lats = append(lats, localLat...)
+			committed += localC
+			aborted += localA
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	m := Measurement{Committed: committed, Aborted: aborted}
+	m.Tps = float64(committed) / duration.Seconds()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		m.AvgLatencyMs = float64(sum.Milliseconds()) / float64(len(lats))
+		if m.AvgLatencyMs == 0 {
+			m.AvgLatencyMs = float64(sum.Microseconds()) / float64(len(lats)) / 1000
+		}
+		m.P99LatencyMs = float64(lats[len(lats)*99/100].Microseconds()) / 1000
+	}
+	return m
+}
+
+// Table renders measurements as the paper-style rows: label, slowdown
+// w.r.t. the first row, throughput, latency.
+func Table(title string, ms []Measurement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %-28s %10s %12s %12s %12s\n", "version", "slowdown", "tps", "avg-lat(ms)", "p99-lat(ms)")
+	if len(ms) == 0 {
+		return b.String()
+	}
+	base := ms[0]
+	for _, m := range ms {
+		fmt.Fprintf(&b, "  %-28s %9.2fx %12.0f %12.2f %12.2f\n",
+			m.Label, m.Slowdown(base), m.Tps, m.AvgLatencyMs, m.P99LatencyMs)
+	}
+	return b.String()
+}
+
+// SeriesTable renders an X-vs-multiple-series table (Fig. 8 style).
+func SeriesTable(title, xName string, xs []string, series map[string][]float64, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %-22s", xName)
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %9s", x)
+	}
+	b.WriteByte('\n')
+	for _, name := range order {
+		fmt.Fprintf(&b, "  %-22s", name)
+		for _, v := range series[name] {
+			fmt.Fprintf(&b, " %9.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

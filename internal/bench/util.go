@@ -1,0 +1,6 @@
+package bench
+
+import "sync/atomic"
+
+// atomicAdd increments *v atomically and returns the new value.
+func atomicAdd(v *uint64) uint64 { return atomic.AddUint64(v, 1) }

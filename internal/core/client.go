@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"treaty/internal/attest"
+	"treaty/internal/erpc"
+	"treaty/internal/fibers"
+	"treaty/internal/seal"
+	"treaty/internal/simnet"
+	"treaty/internal/twopc"
+)
+
+// Client-facing RPC request types ("Clients are registered to TREATY
+// nodes and thereafter are able to execute transactions", §V-A). Each
+// client operation is forwarded by the coordinator node into the 2PC
+// machinery; the coordinator interacts with the client and distributes
+// requests to the involved participants.
+const (
+	reqClientBegin uint8 = 0x30 + iota
+	reqClientGet
+	reqClientPut
+	reqClientDelete
+	reqClientCommit
+	reqClientRollback
+)
+
+// clientTxKey identifies one client transaction at the coordinator.
+type clientTxKey struct {
+	client uint64
+	tx     uint64
+}
+
+// clientSessions tracks the server side of client transactions.
+type clientSessions struct {
+	node *Node
+	mu   sync.Mutex
+	txns map[clientTxKey]*twopc.DistTxn
+}
+
+// newClientSessions registers the client protocol handlers.
+func newClientSessions(n *Node) *clientSessions {
+	cs := &clientSessions{node: n, txns: make(map[clientTxKey]*twopc.DistTxn)}
+	n.ep.Register(reqClientBegin, cs.onFiber(cs.handleBegin))
+	n.ep.Register(reqClientGet, cs.onFiber(cs.handleGet))
+	n.ep.Register(reqClientPut, cs.onFiber(cs.handlePut))
+	n.ep.Register(reqClientDelete, cs.onFiber(cs.handleDelete))
+	n.ep.Register(reqClientCommit, cs.onFiber(cs.handleCommit))
+	n.ep.Register(reqClientRollback, cs.onFiber(cs.handleRollback))
+	return cs
+}
+
+// onFiber runs a handler as a fiber: one fiber per client request, on the
+// userland scheduler (§VII-C).
+func (cs *clientSessions) onFiber(h func(*fibers.Fiber, *erpc.Request)) erpc.Handler {
+	return func(req *erpc.Request) {
+		if _, err := cs.node.sched.Go(func(f *fibers.Fiber) { h(f, req) }); err != nil {
+			req.ReplyError(err.Error())
+		}
+	}
+}
+
+// keyOf builds the session key from request metadata.
+func keyOf(req *erpc.Request) clientTxKey {
+	return clientTxKey{client: req.Meta.NodeID, tx: req.Meta.TxID}
+}
+
+// handleBegin opens a distributed transaction for the client.
+func (cs *clientSessions) handleBegin(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.node.coord.Begin(nil)
+	cs.mu.Lock()
+	cs.txns[keyOf(req)] = tx
+	cs.mu.Unlock()
+	req.Reply(nil)
+}
+
+// lookup finds the client's transaction.
+func (cs *clientSessions) lookup(req *erpc.Request) *twopc.DistTxn {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.txns[keyOf(req)]
+}
+
+// drop removes a finished transaction.
+func (cs *clientSessions) drop(req *erpc.Request) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	delete(cs.txns, keyOf(req))
+}
+
+// handleGet forwards a read.
+func (cs *clientSessions) handleGet(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.lookup(req)
+	if tx == nil {
+		req.ReplyError("core: no such transaction")
+		return
+	}
+	tx.SetYield(f.Yield)
+	key := req.Payload[:min(int(req.Meta.KeyLen), len(req.Payload))]
+	v, found, err := tx.Get(key)
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	if !found {
+		req.Reply([]byte{0})
+		return
+	}
+	req.Reply(append([]byte{1}, v...))
+}
+
+// handlePut forwards a write.
+func (cs *clientSessions) handlePut(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.lookup(req)
+	if tx == nil {
+		req.ReplyError("core: no such transaction")
+		return
+	}
+	tx.SetYield(f.Yield)
+	kl, vl := int(req.Meta.KeyLen), int(req.Meta.ValueLen)
+	if kl+vl > len(req.Payload) {
+		req.ReplyError("core: malformed sizes")
+		return
+	}
+	if err := tx.Put(req.Payload[:kl], req.Payload[kl:kl+vl]); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// handleDelete forwards a delete.
+func (cs *clientSessions) handleDelete(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.lookup(req)
+	if tx == nil {
+		req.ReplyError("core: no such transaction")
+		return
+	}
+	tx.SetYield(f.Yield)
+	key := req.Payload[:min(int(req.Meta.KeyLen), len(req.Payload))]
+	if err := tx.Delete(key); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// handleCommit runs 2PC and acknowledges the client after the decision
+// is stabilized.
+func (cs *clientSessions) handleCommit(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.lookup(req)
+	if tx == nil {
+		req.ReplyError("core: no such transaction")
+		return
+	}
+	tx.SetYield(f.Yield)
+	cs.drop(req)
+	if err := tx.Commit(); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// handleRollback aborts the client's transaction.
+func (cs *clientSessions) handleRollback(f *fibers.Fiber, req *erpc.Request) {
+	tx := cs.lookup(req)
+	if tx == nil {
+		req.ReplyError("core: no such transaction")
+		return
+	}
+	tx.SetYield(f.Yield)
+	cs.drop(req)
+	if err := tx.Rollback(); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// Client is a Treaty client: it authenticates to the CAS, receives the
+// network key, and runs interactive transactions against a coordinator
+// node over a mutually authenticated channel (§IV-A).
+type Client struct {
+	id      uint64
+	ep      *erpc.Endpoint
+	poller  *erpc.Poller
+	coord   string
+	nodes   []string
+	timeout time.Duration
+	nextTx  uint64
+	nextOp  uint64
+}
+
+// ClientOptions configures Connect.
+type ClientOptions struct {
+	// ID must be unique among clients (it namespaces transactions).
+	ID uint64
+	// Addr is the client's own network address.
+	Addr string
+	// Net is the network substrate.
+	Net *simnet.Network
+	// CAS authenticates the client.
+	CAS *attest.CAS
+	// Credential is the pre-registered client secret.
+	CredentialID string
+	// Secret is the credential's secret bytes.
+	Secret []byte
+	// Coordinator selects the coordinator node (empty: derived from ID).
+	Coordinator string
+	// Timeout bounds each operation (0 = 5s).
+	Timeout time.Duration
+	// Secure must match the cluster's RPC security mode.
+	Secure bool
+}
+
+// Connect authenticates with the CAS and opens a coordinator session.
+func Connect(opts ClientOptions) (*Client, error) {
+	sess, err := attest.NewClientSession()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := opts.CAS.AuthenticateClient(opts.CredentialID, opts.Secret, sess.PublicKey())
+	if err != nil {
+		return nil, fmt.Errorf("core: client auth: %w", err)
+	}
+	cfg, err := sess.OpenResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	nep, err := opts.Net.Listen(opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := erpc.NewEndpoint(erpc.Config{
+		NodeID:     opts.ID,
+		Transport:  erpc.NewSimTransport(nep, nil, erpc.KindDPDK),
+		NetworkKey: cfg.NetworkKey,
+		Secure:     opts.Secure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coord := opts.Coordinator
+	if coord == "" {
+		coord = cfg.Nodes[opts.ID%uint64(len(cfg.Nodes))]
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		id:      opts.ID,
+		ep:      ep,
+		poller:  erpc.StartPoller(ep),
+		coord:   coord,
+		nodes:   cfg.Nodes,
+		timeout: timeout,
+	}, nil
+}
+
+// Close releases the client.
+func (c *Client) Close() error {
+	c.poller.Stop()
+	return c.ep.Close()
+}
+
+// ClientTxn is one interactive transaction from the client's view.
+type ClientTxn struct {
+	c    *Client
+	tx   uint64
+	done bool
+}
+
+// ErrTxnDone indicates use of a finished client transaction.
+var ErrTxnDone = errors.New("core: transaction already finished")
+
+// call performs one client-protocol request.
+func (c *Client) call(reqType uint8, tx uint64, key, value []byte) ([]byte, error) {
+	c.nextOp++
+	md := seal.MsgMetadata{
+		TxID:     tx,
+		OpID:     c.nextOp,
+		OpType:   uint32(reqType),
+		KeyLen:   uint32(len(key)),
+		ValueLen: uint32(len(value)),
+	}
+	payload := make([]byte, 0, len(key)+len(value))
+	payload = append(payload, key...)
+	payload = append(payload, value...)
+	return erpc.Call(c.ep, c.coord, reqType, md, payload, c.timeout, nil)
+}
+
+// BeginTxn starts an interactive transaction.
+func (c *Client) BeginTxn() (*ClientTxn, error) {
+	c.nextTx++
+	tx := c.nextTx
+	if _, err := c.call(reqClientBegin, tx, nil, nil); err != nil {
+		return nil, err
+	}
+	return &ClientTxn{c: c, tx: tx}, nil
+}
+
+// TxnGet reads a key.
+func (t *ClientTxn) TxnGet(key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	resp, err := t.c.call(reqClientGet, t.tx, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) == 0 || resp[0] == 0 {
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
+}
+
+// TxnPut writes a key.
+func (t *ClientTxn) TxnPut(key, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	_, err := t.c.call(reqClientPut, t.tx, key, value)
+	return err
+}
+
+// TxnDelete removes a key.
+func (t *ClientTxn) TxnDelete(key []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	_, err := t.c.call(reqClientDelete, t.tx, key, nil)
+	return err
+}
+
+// TxnCommit commits; success means the transaction is durable and
+// rollback-protected on every involved node.
+func (t *ClientTxn) TxnCommit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	_, err := t.c.call(reqClientCommit, t.tx, nil, nil)
+	return err
+}
+
+// TxnRollback aborts the transaction.
+func (t *ClientTxn) TxnRollback() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	_, err := t.c.call(reqClientRollback, t.tx, nil, nil)
+	return err
+}

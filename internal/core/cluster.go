@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"treaty/internal/attest"
+	"treaty/internal/counter"
+	"treaty/internal/enclave"
+	"treaty/internal/erpc"
+	"treaty/internal/seal"
+	"treaty/internal/simnet"
+)
+
+// ClusterOptions configures an in-process cluster.
+type ClusterOptions struct {
+	// Nodes is the cluster size (0 = 3, the paper's testbed).
+	Nodes int
+	// Mode selects the security configuration.
+	Mode SecurityMode
+	// BaseDir hosts per-node storage directories (empty: a temp dir).
+	BaseDir string
+	// Link models the inter-node fabric (zero value: ideal links; the
+	// paper's 40 GbE switch is ~5 GB/s with microsecond latency).
+	Link simnet.LinkConfig
+	// Workers sizes each node's userland scheduler.
+	Workers int
+	// LockTimeout bounds lock waits.
+	LockTimeout time.Duration
+	// MemTableSize overrides the flush threshold.
+	MemTableSize int64
+	// DisableGroupCommit is the group-commit ablation.
+	DisableGroupCommit bool
+	// LockShards overrides the lock-table shard count.
+	LockShards int
+	// CounterReplicas sizes the trusted counter protection group
+	// (0 = 3; only used in stabilization mode).
+	CounterReplicas int
+	// Seed makes the network's randomness reproducible.
+	Seed int64
+}
+
+// Cluster is an in-process Treaty deployment: N nodes, a CAS, an IAS, a
+// trusted-counter protection group, and a simulated network — the whole
+// testbed of §VIII-A in one process.
+type Cluster struct {
+	opts    ClusterOptions
+	net     *simnet.Network
+	ias     *attest.IAS
+	cas     *attest.CAS
+	nodes   []*Node
+	nodeCfg []NodeConfig
+	ctrEPs  []*erpc.Endpoint
+	ctrPoll []*erpc.Poller
+	baseDir string
+	ownsDir bool
+	clients int
+}
+
+// NewCluster boots a cluster.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 3
+	}
+	if opts.CounterReplicas == 0 {
+		opts.CounterReplicas = 3
+	}
+	c := &Cluster{
+		opts:    opts,
+		net:     simnet.New(opts.Link, opts.Seed),
+		ias:     attest.NewIAS(),
+		baseDir: opts.BaseDir,
+	}
+	if c.baseDir == "" {
+		dir, err := os.MkdirTemp("", "treaty-cluster-")
+		if err != nil {
+			return nil, fmt.Errorf("core: temp dir: %w", err)
+		}
+		c.baseDir = dir
+		c.ownsDir = true
+	}
+
+	netKey, err := seal.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	storKey, err := seal.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+
+	nodeAddrs := make([]string, opts.Nodes)
+	for i := range nodeAddrs {
+		nodeAddrs[i] = fmt.Sprintf("node-%d", i)
+	}
+	var ctrAddrs []string
+	if opts.Mode.UsesCounterService() {
+		ctrAddrs = make([]string, opts.CounterReplicas)
+		for i := range ctrAddrs {
+			ctrAddrs[i] = fmt.Sprintf("ctr-%d", i)
+		}
+	}
+
+	c.cas = attest.NewCAS(c.ias, NodeMeasurement(), attest.ClusterConfig{
+		NetworkKey:      netKey,
+		StorageKey:      storKey,
+		Nodes:           nodeAddrs,
+		CounterReplicas: ctrAddrs,
+	})
+
+	// Trusted counter protection group (its own platforms).
+	for i := 0; i < len(ctrAddrs); i++ {
+		if err := c.startCounterReplica(i, ctrAddrs[i], netKey); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+
+	// Nodes.
+	for i := 0; i < opts.Nodes; i++ {
+		cfg, err := c.nodeConfig(uint64(i), nodeAddrs[i])
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		n, err := StartNode(cfg)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("core: starting node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+		c.nodeCfg = append(c.nodeCfg, cfg)
+	}
+	return c, nil
+}
+
+// nodeConfig builds the boot configuration for node i (fresh platform +
+// LAS, persistent directory).
+func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
+	platform, err := enclave.NewPlatform(addr)
+	if err != nil {
+		return NodeConfig{}, err
+	}
+	c.ias.RegisterPlatform(platform)
+	las, err := attest.NewLAS(platform)
+	if err != nil {
+		return NodeConfig{}, err
+	}
+	if err := c.cas.DeployLAS(las); err != nil {
+		return NodeConfig{}, err
+	}
+	dir := filepath.Join(c.baseDir, addr)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return NodeConfig{}, err
+	}
+	return NodeConfig{
+		ID:                 id,
+		Addr:               addr,
+		Dir:                dir,
+		Mode:               c.opts.Mode,
+		Net:                c.net,
+		Platform:           platform,
+		LAS:                las,
+		CAS:                c.cas,
+		Workers:            c.opts.Workers,
+		LockTimeout:        c.opts.LockTimeout,
+		MemTableSize:       c.opts.MemTableSize,
+		DisableGroupCommit: c.opts.DisableGroupCommit,
+		LockShards:         c.opts.LockShards,
+	}, nil
+}
+
+// startCounterReplica boots one protection-group member.
+func (c *Cluster) startCounterReplica(i int, addr string, netKey seal.Key) error {
+	platform, err := enclave.NewPlatform(addr)
+	if err != nil {
+		return err
+	}
+	encl, err := platform.Launch("treaty-counter", enclave.RuntimeConfig{Mode: enclave.ModeNative})
+	if err != nil {
+		return err
+	}
+	nep, err := c.net.Listen(addr)
+	if err != nil {
+		return err
+	}
+	ep, err := erpc.NewEndpoint(erpc.Config{
+		NodeID:     2000 + uint64(i),
+		Transport:  erpc.NewSimTransport(nep, nil, erpc.KindDPDK),
+		NetworkKey: netKey,
+		Secure:     true,
+	})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(c.baseDir, addr)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if _, err := counter.NewReplica(ep, encl, dir); err != nil {
+		return err
+	}
+	c.ctrEPs = append(c.ctrEPs, ep)
+	c.ctrPoll = append(c.ctrPoll, erpc.StartPoller(ep))
+	return nil
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Net returns the network substrate (adversary injection, partitions).
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// CAS returns the configuration and attestation service.
+func (c *Cluster) CAS() *attest.CAS { return c.cas }
+
+// NewClient registers a credential and connects an authenticated client
+// whose coordinator is node (clientID mod N).
+func (c *Cluster) NewClient() (*Client, error) {
+	c.clients++
+	id := uint64(10000 + c.clients)
+	cred := fmt.Sprintf("client-%d", id)
+	secret := []byte(fmt.Sprintf("secret-%d", id))
+	c.cas.RegisterClient(cred, secret)
+	return Connect(ClientOptions{
+		ID:           id,
+		Addr:         fmt.Sprintf("client-%d", id),
+		Net:          c.net,
+		CAS:          c.cas,
+		CredentialID: cred,
+		Secret:       secret,
+		Secure:       c.opts.Mode.SecureRPC(),
+	})
+}
+
+// CrashNode crash-stops node i (files survive; memory is lost).
+func (c *Cluster) CrashNode(i int) {
+	c.nodes[i].Crash()
+	c.nodes[i] = nil
+}
+
+// RestartNode reboots a crashed node from its directory and runs
+// cluster-level recovery.
+func (c *Cluster) RestartNode(i int) (*Node, error) {
+	cfg := c.nodeCfg[i]
+	// A restart re-attests to the CAS via the node's LAS — no IAS round
+	// trip (§VI) — and recovers from persistent state.
+	n, err := StartNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.nodes[i] = n
+	if err := n.Recover(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() error {
+	var errs []error
+	for _, n := range c.nodes {
+		if n != nil {
+			errs = append(errs, n.Stop())
+		}
+	}
+	c.nodes = nil
+	for _, p := range c.ctrPoll {
+		p.Stop()
+	}
+	for _, ep := range c.ctrEPs {
+		errs = append(errs, ep.Close())
+	}
+	c.net.Close()
+	if c.ownsDir {
+		errs = append(errs, os.RemoveAll(c.baseDir))
+	}
+	return errors.Join(errs...)
+}

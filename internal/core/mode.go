@@ -1,0 +1,107 @@
+// Package core assembles Treaty nodes and clusters: it wires the
+// simulated TEE, the storage engine, the transaction layer, the 2PC
+// coordinator/participant, the secure RPC endpoint, the trusted counter
+// client, and the attestation bootstrap into the system of Figure 1, and
+// exposes the transactional client API (BeginTxn / TxnGet / TxnPut /
+// TxnCommit / TxnRollback).
+package core
+
+import (
+	"fmt"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+// SecurityMode selects one of the system configurations evaluated in the
+// paper (§VIII). Each mode fixes the TEE runtime, the storage and
+// network security level, and whether commits wait for stabilization.
+type SecurityMode int
+
+const (
+	// ModeRocksDB is the native, non-secure baseline (DS-RocksDB /
+	// RocksDB in the figures): no TEE costs, CRC-only logs, plaintext
+	// RPC, no rollback protection.
+	ModeRocksDB SecurityMode = iota + 1
+	// ModeNativeTreaty runs Treaty's code natively (no TEE costs) with
+	// integrity protection but no encryption.
+	ModeNativeTreaty
+	// ModeNativeTreatyEnc runs natively with full encryption.
+	ModeNativeTreatyEnc
+	// ModeSconeNoEnc runs inside the (simulated) enclave without
+	// encryption — "Treaty w/o Enc".
+	ModeSconeNoEnc
+	// ModeSconeEnc runs inside the enclave with encryption — "Treaty w/
+	// Enc".
+	ModeSconeEnc
+	// ModeSconeEncStab additionally runs the distributed trusted counter
+	// service and gates acknowledgements on stabilization — "Treaty w/
+	// Enc w/ Stab", the full system.
+	ModeSconeEncStab
+)
+
+// String returns the evaluation label for the mode.
+func (m SecurityMode) String() string {
+	switch m {
+	case ModeRocksDB:
+		return "RocksDB"
+	case ModeNativeTreaty:
+		return "Native Treaty"
+	case ModeNativeTreatyEnc:
+		return "Native Treaty w/ Enc"
+	case ModeSconeNoEnc:
+		return "Treaty w/o Enc"
+	case ModeSconeEnc:
+		return "Treaty w/ Enc"
+	case ModeSconeEncStab:
+		return "Treaty w/ Enc w/ Stab"
+	default:
+		return fmt.Sprintf("SecurityMode(%d)", int(m))
+	}
+}
+
+// AllModes lists the six single-node evaluation versions in figure order.
+func AllModes() []SecurityMode {
+	return []SecurityMode{
+		ModeRocksDB, ModeNativeTreaty, ModeNativeTreatyEnc,
+		ModeSconeNoEnc, ModeSconeEnc, ModeSconeEncStab,
+	}
+}
+
+// EnclaveMode returns the TEE runtime mode for m.
+func (m SecurityMode) EnclaveMode() enclave.Mode {
+	switch m {
+	case ModeRocksDB, ModeNativeTreaty, ModeNativeTreatyEnc:
+		return enclave.ModeNative
+	default:
+		return enclave.ModeScone
+	}
+}
+
+// StorageLevel returns the seal level for persistent structures.
+func (m SecurityMode) StorageLevel() seal.SecurityLevel {
+	switch m {
+	case ModeRocksDB:
+		return seal.LevelNone
+	case ModeNativeTreaty, ModeSconeNoEnc:
+		return seal.LevelIntegrity
+	default:
+		return seal.LevelEncrypted
+	}
+}
+
+// SecureRPC reports whether RPC messages are sealed.
+func (m SecurityMode) SecureRPC() bool {
+	switch m {
+	case ModeNativeTreatyEnc, ModeSconeEnc, ModeSconeEncStab:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitStable reports whether commits wait for rollback protection.
+func (m SecurityMode) WaitStable() bool { return m == ModeSconeEncStab }
+
+// UsesCounterService reports whether the distributed counter group runs.
+func (m SecurityMode) UsesCounterService() bool { return m == ModeSconeEncStab }

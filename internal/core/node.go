@@ -1,0 +1,377 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"treaty/internal/attest"
+	"treaty/internal/counter"
+	"treaty/internal/enclave"
+	"treaty/internal/erpc"
+	"treaty/internal/fibers"
+	"treaty/internal/lsm"
+	"treaty/internal/mempool"
+	"treaty/internal/simnet"
+	"treaty/internal/twopc"
+	"treaty/internal/txn"
+)
+
+// enclaveIdentity is the code identity every genuine Treaty node enclave
+// measures to; the CAS only provisions keys to this measurement.
+const enclaveIdentity = "treaty-node-v1"
+
+// NodeMeasurement returns the expected enclave measurement of a Treaty
+// node (used when deploying the CAS).
+func NodeMeasurement() enclave.Measurement {
+	return enclave.MeasureCode(enclaveIdentity)
+}
+
+// NodeConfig configures one Treaty node.
+type NodeConfig struct {
+	// ID is the node's cluster id (index into the CAS node list).
+	ID uint64
+	// Addr is the node's RPC address on the network.
+	Addr string
+	// Dir is the node's storage directory.
+	Dir string
+	// Mode selects the security configuration.
+	Mode SecurityMode
+	// Net is the network substrate.
+	Net *simnet.Network
+	// Platform is the node's machine.
+	Platform *enclave.Platform
+	// LAS is the platform's local attestation service.
+	LAS *attest.LAS
+	// CAS provisions keys after attestation.
+	CAS *attest.CAS
+	// Workers sizes the userland scheduler (0 = 8, the paper's setup).
+	Workers int
+	// LockTimeout bounds lock waits (0 = 1s).
+	LockTimeout time.Duration
+	// MemTableSize overrides the flush threshold (0 = engine default).
+	MemTableSize int64
+	// DisableGroupCommit is the group-commit ablation.
+	DisableGroupCommit bool
+	// LockShards overrides the lock-table shard count.
+	LockShards int
+}
+
+// Node is one running Treaty node (Figure 1): the trusted components —
+// transaction layer, lock manager, transactional KV engine — inside the
+// enclave; the untrusted network and storage stacks outside.
+type Node struct {
+	cfg     NodeConfig
+	encl    *enclave.Enclave
+	rt      *enclave.Runtime
+	db      *lsm.DB
+	mgr     *txn.Manager
+	part    *twopc.Participant
+	coord   *twopc.Coordinator
+	clog    *twopc.Clog
+	ep      *erpc.Endpoint
+	poller  *erpc.Poller
+	sched   *fibers.Scheduler
+	pool    *mempool.Pool
+	ctrCli  *counter.Client
+	ctrEP   *erpc.Endpoint
+	ctrPoll *erpc.Poller
+	cluster *attest.ClusterConfig
+	router  twopc.Router
+	clients *clientSessions
+}
+
+// StartNode boots a node: launch the enclave, attest to the CAS, receive
+// the cluster configuration, open (or recover) the storage engine, and
+// start serving.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	rtCfg := enclave.RuntimeConfig{Mode: cfg.Mode.EnclaveMode()}
+	encl, err := cfg.Platform.Launch(enclaveIdentity, rtCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: launching enclave: %w", err)
+	}
+	n := &Node{cfg: cfg, encl: encl, rt: encl.Runtime()}
+
+	// Trust establishment: attest, receive keys and cluster layout.
+	inst, err := attest.NewInstance(encl, cfg.LAS)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.CAS.Attest(inst.Request())
+	if err != nil {
+		return nil, fmt.Errorf("core: attestation: %w", err)
+	}
+	clusterCfg, err := inst.OpenResponse(resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening provisioned config: %w", err)
+	}
+	n.cluster = clusterCfg
+
+	// Memory allocator and userland scheduler.
+	n.pool = mempool.New(n.rt, 8)
+	n.sched = fibers.New(cfg.Workers, n.rt)
+
+	// RPC endpoint over the kernel-bypass transport.
+	nep, err := cfg.Net.Listen(cfg.Addr)
+	if err != nil {
+		n.sched.Stop()
+		return nil, err
+	}
+	n.ep, err = erpc.NewEndpoint(erpc.Config{
+		NodeID:     cfg.ID,
+		Transport:  erpc.NewSimTransport(nep, n.rt, erpc.KindDPDK),
+		NetworkKey: clusterCfg.NetworkKey,
+		Secure:     cfg.Mode.SecureRPC(),
+		Runtime:    n.rt,
+		Pool:       n.pool,
+	})
+	if err != nil {
+		n.sched.Stop()
+		return nil, err
+	}
+
+	// Trusted counter client (stab mode) or immediate counters.
+	counters, err := n.buildCounters(clusterCfg)
+	if err != nil {
+		n.sched.Stop()
+		return nil, err
+	}
+
+	// Storage engine (recovers from cfg.Dir if state exists).
+	n.db, err = lsm.Open(lsm.Options{
+		Dir:                cfg.Dir,
+		Level:              cfg.Mode.StorageLevel(),
+		Key:                clusterCfg.StorageKey,
+		Runtime:            n.rt,
+		Counters:           counters,
+		MemTableSize:       cfg.MemTableSize,
+		DisableGroupCommit: cfg.DisableGroupCommit,
+	})
+	if err != nil {
+		n.shutdownPartial()
+		return nil, err
+	}
+
+	// Transaction layer.
+	n.mgr = txn.NewManager(txn.Config{
+		DB:          n.db,
+		LockShards:  cfg.LockShards,
+		LockTimeout: cfg.LockTimeout,
+		Pool:        n.pool,
+		WaitStable:  cfg.Mode.WaitStable(),
+	})
+
+	// 2PC participant + coordinator.
+	n.part = twopc.NewParticipant(twopc.ParticipantConfig{
+		Manager:   n.mgr,
+		Endpoint:  n.ep,
+		Scheduler: n.sched,
+	})
+	clogCtr := counters("CLOG-000001")
+	maxStable := int64(-1)
+	if cfg.Mode.StorageLevel() > 1 { // integrity or encrypted
+		maxStable = int64(clogCtr.StableValue())
+	}
+	clog, recovered, err := twopc.OpenClog(cfg.Dir, cfg.Mode.StorageLevel(), clusterCfg.StorageKey, n.rt, clogCtr, maxStable)
+	if err != nil {
+		n.shutdownPartial()
+		return nil, err
+	}
+	n.clog = clog
+	n.router = RouterFor(clusterCfg.Nodes)
+	n.coord = twopc.NewCoordinator(twopc.CoordinatorConfig{
+		NodeID:    cfg.ID,
+		Endpoint:  n.ep,
+		Clog:      clog,
+		Router:    n.router,
+		Recovered: recovered,
+	})
+
+	// Re-initialize prepared transactions found during recovery; they
+	// resolve with their coordinators once the cluster is up (Recover).
+	if err := n.part.RestorePrepared(n.db.RecoveredPrepared()); err != nil {
+		n.shutdownPartial()
+		return nil, err
+	}
+
+	n.clients = newClientSessions(n)
+	n.poller = erpc.StartPoller(n.ep)
+	return n, nil
+}
+
+// buildCounters wires the trusted counter factory for the node's mode.
+func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFactory, error) {
+	if !n.cfg.Mode.UsesCounterService() || len(clusterCfg.CounterReplicas) == 0 {
+		immediate := make(map[string]lsm.TrustedCounter)
+		return func(name string) lsm.TrustedCounter {
+			if c, ok := immediate[name]; ok {
+				return c
+			}
+			c := lsm.NewImmediateCounter()
+			immediate[name] = c
+			return c
+		}, nil
+	}
+	// Dedicated endpoint for counter traffic so protocol rounds are not
+	// queued behind transaction handling. The endpoint identity is fresh
+	// per boot: a restarted node must not collide with its pre-crash
+	// (node, tx, op) tuples in the replicas' replay caches.
+	cep, err := n.cfg.Net.Listen(n.cfg.Addr + "/ctr")
+	if err != nil {
+		return nil, err
+	}
+	bootID, err := randomID()
+	if err != nil {
+		return nil, err
+	}
+	n.ctrEP, err = erpc.NewEndpoint(erpc.Config{
+		NodeID:     bootID,
+		Transport:  erpc.NewSimTransport(cep, n.rt, erpc.KindDPDK),
+		NetworkKey: clusterCfg.NetworkKey,
+		Secure:     true,
+		Runtime:    n.rt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.ctrPoll = erpc.StartPoller(n.ctrEP)
+	n.ctrCli, err = counter.NewClient(counter.ClientConfig{
+		Endpoint: n.ctrEP,
+		Replicas: clusterCfg.CounterReplicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cli := n.ctrCli
+	nodeID := n.cfg.ID
+	return func(name string) lsm.TrustedCounter {
+		// Counter names are namespaced per node: every node has its own
+		// wal-000001.log, and their counters must be independent.
+		full := fmt.Sprintf("node%d/%s", nodeID, name)
+		h := cli.Counter(full)
+		// Seed the local view from the protection group so recovery
+		// freshness checks see the quorum-stable value.
+		if v, err := cli.RecoverStable(full); err == nil {
+			h.SeedStable(v)
+		}
+		return h
+	}, nil
+}
+
+// shutdownPartial tears down whatever StartNode built before failing,
+// releasing every network address so a later retry can bind again.
+func (n *Node) shutdownPartial() {
+	if n.ctrPoll != nil {
+		n.ctrPoll.Stop()
+	}
+	if n.ctrCli != nil {
+		n.ctrCli.Close()
+	}
+	if n.ctrEP != nil {
+		_ = n.ctrEP.Close()
+	}
+	if n.db != nil {
+		_ = n.db.Close()
+	}
+	if n.sched != nil {
+		n.sched.Stop()
+	}
+	if n.ep != nil {
+		_ = n.ep.Close()
+	}
+}
+
+// randomID draws a fresh 63-bit identity.
+func randomID() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("core: random id: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]) >> 1, nil
+}
+
+// RouterFor builds the cluster's key router: FNV hash over the node list
+// (the shard map distributed by the CAS).
+func RouterFor(nodes []string) twopc.Router {
+	return func(key []byte) string {
+		h := fnv.New32a()
+		h.Write(key)
+		return nodes[h.Sum32()%uint32(len(nodes))]
+	}
+}
+
+// Begin starts a distributed transaction coordinated by this node.
+func (n *Node) Begin(yield func()) *twopc.DistTxn { return n.coord.Begin(yield) }
+
+// Recover finishes crash recovery once the whole cluster is reachable:
+// the coordinator re-drives its pending transactions and the participant
+// resolves recovered prepared transactions with their coordinators (§VI).
+func (n *Node) Recover() error {
+	if err := n.coord.RecoverPending(nil); err != nil {
+		return err
+	}
+	addrOf := func(nodeID uint64) string {
+		if int(nodeID) < len(n.cluster.Nodes) {
+			return n.cluster.Nodes[nodeID]
+		}
+		return ""
+	}
+	return n.part.ResolveRecovered(addrOf, 20, nil)
+}
+
+// Stop shuts the node down cleanly.
+func (n *Node) Stop() error {
+	n.poller.Stop()
+	n.part.Close()
+	n.sched.Stop()
+	if n.ctrPoll != nil {
+		n.ctrPoll.Stop()
+	}
+	if n.ctrCli != nil {
+		n.ctrCli.Close()
+	}
+	var errs []error
+	errs = append(errs, n.clog.Close(), n.db.Close(), n.ep.Close())
+	if n.ctrEP != nil {
+		errs = append(errs, n.ctrEP.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// Crash kills the node without any graceful shutdown: in-memory state is
+// lost, only synced files survive (the crash-fail model, §III).
+func (n *Node) Crash() {
+	n.poller.Stop()
+	if n.ctrPoll != nil {
+		n.ctrPoll.Stop()
+	}
+	if n.ctrCli != nil {
+		n.ctrCli.Close()
+	}
+	_ = n.ep.Close()
+	if n.ctrEP != nil {
+		_ = n.ctrEP.Close()
+	}
+	// The DB, scheduler, and participant are abandoned, not closed.
+}
+
+// DB exposes the storage engine (benchmarks, tests).
+func (n *Node) DB() *lsm.DB { return n.db }
+
+// Manager exposes the transaction manager (single-node benchmarks).
+func (n *Node) Manager() *txn.Manager { return n.mgr }
+
+// Runtime exposes the TEE runtime (stats).
+func (n *Node) Runtime() *enclave.Runtime { return n.rt }
+
+// Addr returns the node's RPC address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// ID returns the node's cluster id.
+func (n *Node) ID() uint64 { return n.cfg.ID }
+
+// Endpoint exposes the RPC endpoint (tests).
+func (n *Node) Endpoint() *erpc.Endpoint { return n.ep }

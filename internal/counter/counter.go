@@ -1,0 +1,365 @@
+// Package counter implements Treaty's asynchronous distributed trusted
+// counter service (§VI), modelled on ROTE: a protection group of counter
+// enclaves that make monotonic counter values rollback-protected via an
+// echo-broadcast protocol with a confirmation round.
+//
+// Protocol (per counter update): the sender enclave (SE) broadcasts the
+// counter value to all replica enclaves (REs). Each RE stores the value
+// in protected memory and returns an echo. Once the SE holds echoes from
+// a quorum q it starts the confirmation round; each RE verifies the value
+// matches what it stored, replies ACK, and seals its state to persistent
+// storage. After q ACKs the value is stable: a majority of enclaves will
+// report at least this value after any crash, so a rolled-back log can
+// always be detected at recovery.
+//
+// The client interface is asynchronous (Stabilize enqueues, WaitStable
+// blocks), letting Treaty overlap counter latency with other work —
+// commits only wait at the stabilization points the protocol requires.
+// SGX's own monotonic counters are not used: they take up to ~250 ms per
+// increment, wear out, and are per-CPU (§IV-B); this service is the
+// paper's answer.
+package counter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"treaty/internal/erpc"
+	"treaty/internal/seal"
+)
+
+// Request types used by the counter protocol.
+const (
+	reqUpdate  uint8 = 0xC1 // round 1: echo broadcast
+	reqConfirm uint8 = 0xC2 // round 2: confirmation
+	reqQuery   uint8 = 0xC3 // recovery: read stable value
+)
+
+// ErrNoQuorum indicates the protection group could not reach quorum.
+var ErrNoQuorum = errors.New("counter: no quorum")
+
+// wire helpers: name-length-prefixed name ∥ value.
+func encodeReq(name string, value uint64) []byte {
+	out := make([]byte, 0, 2+len(name)+8)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint64(out, value)
+	return out
+}
+
+func decodeReq(data []byte) (string, uint64, error) {
+	if len(data) < 2 {
+		return "", 0, errors.New("counter: short request")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	if len(data) < 2+n+8 {
+		return "", 0, errors.New("counter: short request")
+	}
+	name := string(data[2 : 2+n])
+	v := binary.LittleEndian.Uint64(data[2+n:])
+	return name, v, nil
+}
+
+// Client is the sender-enclave side: it drives the two-round protocol
+// against a protection group and exposes per-log-file counter handles.
+type Client struct {
+	ep       *erpc.Endpoint
+	replicas []string
+	quorum   int
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	handles map[string]*Handle
+	nextOp  uint64
+	nextTx  uint64
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Endpoint is the RPC port used to reach the replicas. Its event
+	// loop must be driven (e.g. erpc.StartPoller).
+	Endpoint *erpc.Endpoint
+	// Replicas are the protection group's addresses.
+	Replicas []string
+	// Quorum defaults to majority.
+	Quorum int
+	// Timeout bounds each protocol round (default 2s).
+	Timeout time.Duration
+}
+
+// NewClient creates a counter client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Endpoint == nil || len(cfg.Replicas) == 0 {
+		return nil, errors.New("counter: client needs endpoint and replicas")
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = len(cfg.Replicas)/2 + 1
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &Client{
+		ep:       cfg.Endpoint,
+		replicas: cfg.Replicas,
+		quorum:   cfg.Quorum,
+		timeout:  cfg.Timeout,
+		handles:  make(map[string]*Handle),
+	}, nil
+}
+
+// Counter returns the handle for the named counter (one per log file),
+// creating it on first use. initialStable seeds the local view; use
+// RecoverStable after restarts instead.
+func (c *Client) Counter(name string) *Handle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.handles[name]; ok {
+		return h
+	}
+	h := &Handle{client: c, name: name}
+	h.cond = sync.NewCond(&h.mu)
+	c.handles[name] = h
+	go h.pump()
+	return h
+}
+
+// RecoverStable queries the protection group for the named counter's
+// quorum-stable value (used at node recovery before replaying logs).
+func (c *Client) RecoverStable(name string) (uint64, error) {
+	values, err := c.broadcast(reqQuery, name, 0)
+	if err != nil {
+		return 0, err
+	}
+	// The stable value is the maximum reported by the quorum: any value
+	// that completed round 2 was sealed by at least q replicas, so at
+	// least one quorum member reports it.
+	var maxV uint64
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV, nil
+}
+
+// broadcast sends one round to all replicas and waits for a quorum of
+// replies, returning their reported values.
+func (c *Client) broadcast(reqType uint8, name string, value uint64) ([]uint64, error) {
+	c.mu.Lock()
+	c.nextTx++
+	tx := c.nextTx
+	c.mu.Unlock()
+
+	payload := encodeReq(name, value)
+	pendings := make([]*erpc.Pending, len(c.replicas))
+	for i, addr := range c.replicas {
+		c.mu.Lock()
+		c.nextOp++
+		op := c.nextOp
+		c.mu.Unlock()
+		md := seal.MsgMetadata{TxID: tx, OpID: op, OpType: uint32(reqType)}
+		pendings[i] = c.ep.Enqueue(addr, reqType, md, payload, nil)
+	}
+	deadline := time.Now().Add(c.timeout)
+	var values []uint64
+	replied := make([]bool, len(pendings))
+	answered := 0
+	for len(values) < c.quorum {
+		if time.Now().After(deadline) || answered == len(pendings) {
+			return nil, fmt.Errorf("%w: %d/%d replies for %s", ErrNoQuorum, len(values), c.quorum, name)
+		}
+		progress := false
+		for i, p := range pendings {
+			if replied[i] || !p.Done() {
+				continue
+			}
+			replied[i] = true
+			answered++
+			progress = true
+			if p.Err() != nil {
+				continue
+			}
+			if resp := p.Response(); len(resp) >= 8 {
+				values = append(values, binary.LittleEndian.Uint64(resp))
+			}
+		}
+		if progress {
+			continue
+		}
+		// Block on the first unanswered reply instead of spinning.
+		for i, p := range pendings {
+			if replied[i] {
+				continue
+			}
+			select {
+			case <-p.Ch():
+			case <-time.After(time.Until(deadline)):
+			}
+			break
+		}
+	}
+	return values, nil
+}
+
+// Handle is one named counter's client-side state. It satisfies the
+// storage engine's TrustedCounter interface.
+type Handle struct {
+	client *Client
+	name   string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending uint64 // highest value requested
+	stable  uint64 // highest value confirmed by quorum
+	failed  error  // sticky failure (no quorum after MaxRetries)
+	closed  bool
+}
+
+// MaxRoundRetries bounds consecutive failed protocol rounds before a
+// handle gives up (each round already has the client timeout). Transient
+// partitions and tampering within this budget only delay stabilization —
+// "any faults ... can only affect availability" (§VI).
+const MaxRoundRetries = 8
+
+// Stabilize asynchronously requests rollback protection up to v.
+// Requests batch: stabilizing v implicitly covers all v' < v, so a burst
+// of commits costs one protocol round (the paper's asynchronous trusted
+// counter interface).
+func (h *Handle) Stabilize(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v > h.pending {
+		h.pending = v
+		h.cond.Broadcast()
+	}
+}
+
+// WaitStable blocks until the counter service has made v
+// rollback-protected (or the service failed to reach quorum).
+func (h *Handle) WaitStable(v uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v > h.pending {
+		h.pending = v
+		h.cond.Broadcast()
+	}
+	for h.stable < v && h.failed == nil {
+		h.cond.Wait()
+	}
+	return h.failed
+}
+
+// StableValue returns the highest quorum-stable value observed locally.
+func (h *Handle) StableValue() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stable
+}
+
+// SeedStable sets the local stable view (from RecoverStable) without
+// running the protocol. Call before first use after a restart.
+func (h *Handle) SeedStable(v uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v > h.stable {
+		h.stable = v
+	}
+	if v > h.pending {
+		h.pending = v
+	}
+}
+
+// pump runs the two-round protocol whenever there is pending work,
+// batching all requests that arrived meanwhile into one round. Failed
+// rounds (partition, tampering, replica crashes) are retried with
+// backoff up to MaxRoundRetries before the handle fails permanently.
+func (h *Handle) pump() {
+	failures := 0
+	for {
+		h.mu.Lock()
+		for h.pending <= h.stable && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return
+		}
+		target := h.pending
+		h.mu.Unlock()
+
+		err := h.runRounds(target)
+
+		h.mu.Lock()
+		if err == nil {
+			failures = 0
+			if target > h.stable {
+				h.stable = target
+			}
+			h.cond.Broadcast()
+			h.mu.Unlock()
+			continue
+		}
+		failures++
+		if failures >= MaxRoundRetries {
+			h.failed = err
+			h.cond.Broadcast()
+			h.mu.Unlock()
+			return
+		}
+		h.mu.Unlock()
+		// Back off before retrying the round.
+		time.Sleep(time.Duration(failures) * 100 * time.Millisecond)
+	}
+}
+
+// Failed returns the handle's permanent failure, if any. The storage
+// layer's stable tokens consult this so waiters surface the error
+// instead of spinning.
+func (h *Handle) Failed() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.failed
+}
+
+// runRounds executes echo broadcast + confirmation for value v.
+func (h *Handle) runRounds(v uint64) error {
+	// Round 1: echo broadcast. REs store the value and echo it back.
+	echoes, err := h.client.broadcast(reqUpdate, h.name, v)
+	if err != nil {
+		return fmt.Errorf("counter: echo round for %s: %w", h.name, err)
+	}
+	for _, e := range echoes {
+		if e < v {
+			return fmt.Errorf("counter: replica echoed stale value %d < %d", e, v)
+		}
+	}
+	// Round 2: confirmation. REs verify the stored value and seal.
+	if _, err := h.client.broadcast(reqConfirm, h.name, v); err != nil {
+		return fmt.Errorf("counter: confirm round for %s: %w", h.name, err)
+	}
+	return nil
+}
+
+// close stops the pump (used by tests).
+func (h *Handle) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+// Close stops all handle pumps.
+func (c *Client) Close() {
+	c.mu.Lock()
+	handles := make([]*Handle, 0, len(c.handles))
+	for _, h := range c.handles {
+		handles = append(handles, h)
+	}
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.close()
+	}
+}

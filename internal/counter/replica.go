@@ -1,0 +1,189 @@
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"treaty/internal/enclave"
+	"treaty/internal/erpc"
+)
+
+// Replica is one receiver enclave (RE) of the protection group. It keeps
+// the counter values in protected (enclave) memory, echoes round-1
+// updates, verifies and ACKs round-2 confirmations, and seals its state
+// to persistent storage so a crashed replica recovers its view.
+type Replica struct {
+	ep   *erpc.Endpoint
+	encl *enclave.Enclave
+	path string
+
+	mu      sync.Mutex
+	pending map[string]uint64 // round-1 values awaiting confirmation
+	stable  map[string]uint64 // confirmed (sealed) values
+}
+
+// NewReplica creates a replica serving on ep, sealing its state with
+// encl into dir (empty dir disables persistence — tests). Registration
+// happens immediately; drive ep's event loop to serve.
+func NewReplica(ep *erpc.Endpoint, encl *enclave.Enclave, dir string) (*Replica, error) {
+	r := &Replica{
+		ep:      ep,
+		encl:    encl,
+		pending: make(map[string]uint64),
+		stable:  make(map[string]uint64),
+	}
+	if dir != "" {
+		r.path = filepath.Join(dir, fmt.Sprintf("counter-state-%d.sealed", ep.NodeID()))
+		if err := r.load(); err != nil {
+			return nil, err
+		}
+	}
+	ep.Register(reqUpdate, r.onUpdate)
+	ep.Register(reqConfirm, r.onConfirm)
+	ep.Register(reqQuery, r.onQuery)
+	return r, nil
+}
+
+// onUpdate handles round 1: store the value in protected memory and echo.
+func (r *Replica) onUpdate(req *erpc.Request) {
+	name, v, err := decodeReq(req.Payload)
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	r.mu.Lock()
+	if v > r.pending[name] {
+		r.pending[name] = v
+	}
+	echo := r.pending[name]
+	r.mu.Unlock()
+	req.Reply(binary.LittleEndian.AppendUint64(nil, echo))
+}
+
+// onConfirm handles round 2: verify the received value matches the one
+// stored in memory, seal state, and (N)ACK.
+func (r *Replica) onConfirm(req *erpc.Request) {
+	name, v, err := decodeReq(req.Payload)
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	r.mu.Lock()
+	stored := r.pending[name]
+	if stored < v {
+		// We never echoed this value: NACK (the SE's quorum must not
+		// count us).
+		r.mu.Unlock()
+		req.ReplyError(fmt.Sprintf("counter: confirm for unseen value %d (have %d)", v, stored))
+		return
+	}
+	if v > r.stable[name] {
+		r.stable[name] = v
+	}
+	ack := r.stable[name]
+	snapshot := r.encodeStateLocked()
+	r.mu.Unlock()
+
+	// Seal the state together with the counter value to persistent
+	// storage before ACKing, so a crashed replica still reports it.
+	if err := r.persist(snapshot); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(binary.LittleEndian.AppendUint64(nil, ack))
+}
+
+// onQuery handles recovery reads.
+func (r *Replica) onQuery(req *erpc.Request) {
+	name, _, err := decodeReq(req.Payload)
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	r.mu.Lock()
+	v := r.stable[name]
+	r.mu.Unlock()
+	req.Reply(binary.LittleEndian.AppendUint64(nil, v))
+}
+
+// encodeStateLocked serializes the stable map (r.mu held).
+func (r *Replica) encodeStateLocked() []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.stable)))
+	for name, v := range r.stable {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+		out = append(out, name...)
+		out = binary.LittleEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+// persist seals and writes the state file.
+func (r *Replica) persist(snapshot []byte) error {
+	if r.path == "" {
+		return nil
+	}
+	sealed := snapshot
+	if r.encl != nil {
+		sealed = r.encl.Seal(snapshot)
+	}
+	tmp := r.path + ".tmp"
+	if err := os.WriteFile(tmp, sealed, 0o644); err != nil {
+		return fmt.Errorf("counter: persisting state: %w", err)
+	}
+	if err := os.Rename(tmp, r.path); err != nil {
+		return fmt.Errorf("counter: persisting state: %w", err)
+	}
+	return nil
+}
+
+// load restores sealed state after a restart.
+func (r *Replica) load() error {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("counter: loading state: %w", err)
+	}
+	if r.encl != nil {
+		plain, uerr := r.encl.Unseal(data)
+		if uerr != nil {
+			return fmt.Errorf("counter: sealed state: %w", uerr)
+		}
+		data = plain
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("counter: short state file")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if off+2 > len(data) {
+			return fmt.Errorf("counter: truncated state file")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+nameLen+8 > len(data) {
+			return fmt.Errorf("counter: truncated state file")
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		r.stable[name] = v
+		r.pending[name] = v
+	}
+	return nil
+}
+
+// StableValue reports the replica's confirmed value for a counter
+// (test/inspection hook).
+func (r *Replica) StableValue(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stable[name]
+}

@@ -1,0 +1,53 @@
+package erpc
+
+import (
+	"testing"
+	"time"
+
+	"treaty/internal/seal"
+)
+
+func TestPendingChannelClosesOnCompletion(t *testing.T) {
+	tc := newTestCluster(t, true)
+	md := seal.MsgMetadata{TxID: 500, OpID: 1}
+	pend := tc.client.Enqueue("server", reqEcho, md, []byte("x"), nil)
+	select {
+	case <-pend.Ch():
+		if !pend.Done() {
+			t.Fatal("channel closed before Done")
+		}
+		if string(pend.Response()) != "x" {
+			t.Errorf("response = %q", pend.Response())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending channel never closed")
+	}
+}
+
+func TestCallBlockingPathNoYield(t *testing.T) {
+	tc := newTestCluster(t, true)
+	// nil yield must use the blocking channel path and still succeed.
+	start := time.Now()
+	resp, err := Call(tc.client, "server", reqEcho, seal.MsgMetadata{TxID: 501, OpID: 1}, []byte("blocking"), 2*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "blocking" {
+		t.Errorf("resp = %q", resp)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("blocking call took suspiciously long")
+	}
+}
+
+func TestCallYieldPathBounded(t *testing.T) {
+	tc := newTestCluster(t, true)
+	yields := 0
+	resp, err := Call(tc.client, "server", reqEcho, seal.MsgMetadata{TxID: 502, OpID: 1}, []byte("y"), 2*time.Second, func() { yields++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "y" {
+		t.Errorf("resp = %q", resp)
+	}
+}

@@ -1,0 +1,117 @@
+package erpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"treaty/internal/seal"
+)
+
+// Poller drives an endpoint's event loop from a dedicated goroutine,
+// emulating eRPC's per-thread RPC ownership: all handler execution and
+// continuation firing happens on the poller goroutine. Polling spins
+// while traffic flows and backs off quickly when the port goes quiet so
+// that low-core machines are not monopolized.
+type Poller struct {
+	ep   *Endpoint
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartPoller begins polling ep.
+func StartPoller(ep *Endpoint) *Poller {
+	p := &Poller{ep: ep, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// loop runs the event loop until Stop. With a ChannelTransport the loop
+// is event-driven: it spins through bursts while traffic flows and then
+// blocks on packet arrival or transmit-queue wakeups — no sleeps, no
+// idle latency. Plain transports fall back to adaptive sleep-polling.
+func (p *Poller) loop() {
+	defer p.wg.Done()
+	ct, eventDriven := p.ep.cfg.Transport.(ChannelTransport)
+	idle := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		if n := p.ep.RunOnce(); n > 0 {
+			idle = 0
+			continue
+		}
+		if eventDriven {
+			select {
+			case <-p.stop:
+				return
+			case <-p.ep.TxNotify():
+				// Transmit work arrived; next RunOnce flushes it.
+			case pkt, ok := <-ct.RecvCh():
+				if !ok {
+					return
+				}
+				p.ep.HandlePacket(pkt.From, pkt.Data)
+			}
+			continue
+		}
+		idle++
+		switch {
+		case idle <= 8:
+			runtime.Gosched()
+		case idle <= 64:
+			time.Sleep(5 * time.Microsecond)
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Stop halts the poller and waits for the loop to exit.
+func (p *Poller) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// ErrTimeout indicates a Call did not complete in time.
+var ErrTimeout = fmt.Errorf("erpc: request timed out")
+
+// Call enqueues a request and waits until the response arrives or
+// timeout passes. With a nil yield the caller blocks on the completion
+// channel (no spinning). With a fiber yield, the caller cooperatively
+// yields between polls, pausing briefly every so often so tight yield
+// loops do not monopolize low-core machines. The endpoint's event loop
+// must be running (Poller or an external RunOnce driver).
+func Call(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payload []byte, timeout time.Duration, yield func()) ([]byte, error) {
+	pend := ep.Enqueue(to, reqType, md, payload, nil)
+	if yield == nil {
+		select {
+		case <-pend.Ch():
+		case <-time.After(timeout):
+			return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+		}
+	} else {
+		deadline := time.Now().Add(timeout)
+		spins := 0
+		for !pend.Done() {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+			}
+			yield()
+			if spins++; spins%64 == 0 {
+				// Pause the worker briefly: on saturated or low-core
+				// machines this lets pollers and handlers run.
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+	if err := pend.Err(); err != nil {
+		return nil, err
+	}
+	return pend.Response(), nil
+}

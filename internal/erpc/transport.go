@@ -1,0 +1,249 @@
+package erpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treaty/internal/enclave"
+	"treaty/internal/simnet"
+)
+
+// Transport carries wire bytes between endpoints. Poll must be
+// non-blocking (kernel-bypass style); reliability is not required —
+// the protocol layers tolerate loss via retries or abort.
+type Transport interface {
+	// Send transmits data to the named address.
+	Send(to string, data []byte) error
+	// Poll returns one received packet if immediately available.
+	Poll() (from string, data []byte, ok bool)
+	// LocalAddr returns this transport's address.
+	LocalAddr() string
+	// Close releases the transport.
+	Close() error
+}
+
+// RawPacket is one received datagram, for event-channel transports.
+type RawPacket struct {
+	// From is the sender address.
+	From string
+	// Data is the payload.
+	Data []byte
+}
+
+// ChannelTransport is implemented by transports that can deliver receive
+// events over a channel, letting the event loop block when idle instead
+// of sleep-polling — the adaptive polling DESIGN.md describes. The
+// channel closes when the transport closes.
+type ChannelTransport interface {
+	Transport
+	// RecvCh returns the receive event channel. A packet read from the
+	// channel must be handed to the endpoint (it bypasses Poll).
+	RecvCh() <-chan RawPacket
+}
+
+// TransportKind selects the I/O cost profile of a transport.
+type TransportKind int
+
+const (
+	// KindDPDK models kernel-bypass userspace I/O: polling, zero
+	// syscalls on the data path (eRPC over DPDK, §VII-A).
+	KindDPDK TransportKind = iota + 1
+	// KindSocket models kernel sockets: every send and receive is a
+	// (SCONE async) syscall, the overhead the paper's Fig. 8 isolates.
+	KindSocket
+)
+
+// SimTransport runs over a simnet endpoint, charging syscall costs
+// according to its kind.
+type SimTransport struct {
+	ep   *simnet.Endpoint
+	rt   *enclave.Runtime
+	kind TransportKind
+
+	recvOnce sync.Once
+	recvCh   chan RawPacket
+}
+
+// NewSimTransport wraps a simnet endpoint. rt may be nil (native).
+func NewSimTransport(ep *simnet.Endpoint, rt *enclave.Runtime, kind TransportKind) *SimTransport {
+	return &SimTransport{ep: ep, rt: rt, kind: kind}
+}
+
+var _ ChannelTransport = (*SimTransport)(nil)
+
+// RecvCh implements ChannelTransport: a converter goroutine forwards the
+// simnet inbox, charging receive costs as packets pass.
+func (t *SimTransport) RecvCh() <-chan RawPacket {
+	t.recvOnce.Do(func() {
+		t.recvCh = make(chan RawPacket)
+		go func() {
+			defer close(t.recvCh)
+			for pkt := range t.ep.RecvCh() {
+				t.charge(len(pkt.Data))
+				t.recvCh <- RawPacket{From: pkt.From, Data: pkt.Data}
+			}
+		}()
+	})
+	return t.recvCh
+}
+
+// Send implements Transport.
+func (t *SimTransport) Send(to string, data []byte) error {
+	t.charge(len(data))
+	return t.ep.Send(to, data)
+}
+
+// Poll implements Transport. DPDK polling issues no syscalls; a socket
+// recv costs one syscall only when data is actually drained (we model
+// level-triggered epoll batching for the socket path).
+func (t *SimTransport) Poll() (string, []byte, bool) {
+	pkt, ok := t.ep.Poll()
+	if !ok {
+		return "", nil, false
+	}
+	t.charge(len(pkt.Data))
+	return pkt.From, pkt.Data, true
+}
+
+// charge applies the per-operation I/O cost: socket transports pay a
+// syscall; in enclave mode both kinds pay the message-boundary cost
+// (buffers live in host memory and are copied across, §VII-D).
+func (t *SimTransport) charge(n int) {
+	if t.rt == nil {
+		return
+	}
+	if t.kind == KindSocket {
+		t.rt.Syscall()
+	}
+	t.rt.MessageCost(n)
+}
+
+// LocalAddr implements Transport.
+func (t *SimTransport) LocalAddr() string { return t.ep.Addr() }
+
+// Close implements Transport.
+func (t *SimTransport) Close() error {
+	t.ep.Close()
+	return nil
+}
+
+// UDPTransport runs over a real UDP socket (loopback or LAN). A reader
+// goroutine drains the socket into a bounded channel so Poll stays
+// non-blocking. Every datagram costs a syscall (charged to rt).
+type UDPTransport struct {
+	conn   *net.UDPConn
+	rt     *enclave.Runtime
+	inbox  chan RawPacket
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPTransport binds a UDP socket on addr ("127.0.0.1:0" for an
+// ephemeral port). rt may be nil.
+func NewUDPTransport(addr string, rt *enclave.Runtime) (*UDPTransport, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("erpc: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("erpc: binding udp: %w", err)
+	}
+	t := &UDPTransport{
+		conn:  conn,
+		rt:    rt,
+		inbox: make(chan RawPacket, 4096),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+var _ ChannelTransport = (*UDPTransport)(nil)
+
+// RecvCh implements ChannelTransport. Receive-side syscall costs are
+// charged by the read loop; channel consumers get packets directly.
+func (t *UDPTransport) RecvCh() <-chan RawPacket { return t.inbox }
+
+// readLoop drains the socket into the inbox.
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			if t.closed.Load() {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.inbox <- RawPacket{From: raddr.String(), Data: data}:
+		default:
+			// Inbox overrun: drop, like a NIC ring overflow.
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(to string, data []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if t.rt != nil {
+		t.rt.Syscall()
+	}
+	raddr, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return fmt.Errorf("erpc: resolving %q: %w", to, err)
+	}
+	if _, err := t.conn.WriteToUDP(data, raddr); err != nil {
+		return fmt.Errorf("erpc: udp send: %w", err)
+	}
+	return nil
+}
+
+// Poll implements Transport.
+func (t *UDPTransport) Poll() (string, []byte, bool) {
+	select {
+	case pkt := <-t.inbox:
+		if t.rt != nil {
+			t.rt.Syscall()
+		}
+		return pkt.From, pkt.Data, true
+	default:
+		return "", nil, false
+	}
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	err := t.conn.Close()
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(t.inbox)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+	return err
+}

@@ -1,0 +1,338 @@
+package fibers
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"treaty/internal/enclave"
+)
+
+func TestFibersRunToCompletion(t *testing.T) {
+	s := New(2, nil)
+	defer s.Stop()
+	var count atomic.Int64
+	var handles []*Fiber
+	for i := 0; i < 50; i++ {
+		f, err := s.Go(func(*Fiber) { count.Add(1) })
+		if err != nil {
+			t.Fatalf("Go: %v", err)
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		s.Join(f)
+	}
+	if got := count.Load(); got != 50 {
+		t.Errorf("ran %d fibers, want 50", got)
+	}
+}
+
+func TestOneFiberPerWorkerAtATime(t *testing.T) {
+	s := New(1, nil) // single worker: strict serialization
+	defer s.Stop()
+	var running, maxRunning atomic.Int64
+	var handles []*Fiber
+	for i := 0; i < 10; i++ {
+		f, err := s.Go(func(f *Fiber) {
+			for j := 0; j < 20; j++ {
+				cur := running.Add(1)
+				for {
+					prev := maxRunning.Load()
+					if cur <= prev || maxRunning.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				running.Add(-1)
+				f.Yield()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		s.Join(f)
+	}
+	if got := maxRunning.Load(); got != 1 {
+		t.Errorf("max concurrent fibers on one worker = %d, want 1", got)
+	}
+}
+
+func TestYieldInterleavesRoundRobin(t *testing.T) {
+	s := New(1, nil)
+	defer s.Stop()
+	var mu sync.Mutex
+	var order []int
+	var handles []*Fiber
+	for i := 0; i < 3; i++ {
+		f, err := s.Go(func(f *Fiber) {
+			for j := 0; j < 3; j++ {
+				mu.Lock()
+				order = append(order, 0)
+				mu.Unlock()
+				f.Yield()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		s.Join(f)
+	}
+	if len(order) != 9 {
+		t.Errorf("total slices = %d, want 9", len(order))
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	s := New(2, nil)
+	defer s.Stop()
+	ready := make(chan *Fiber, 1)
+	var woke atomic.Bool
+	f, err := s.Go(func(f *Fiber) {
+		ready <- f
+		f.Block()
+		woke.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := <-ready
+	time.Sleep(10 * time.Millisecond)
+	if woke.Load() {
+		t.Fatal("fiber proceeded past Block without Unblock")
+	}
+	blocked.Unblock()
+	s.Join(f)
+	if !woke.Load() {
+		t.Fatal("fiber did not wake after Unblock")
+	}
+}
+
+func TestSleepWakes(t *testing.T) {
+	s := New(1, nil)
+	defer s.Stop()
+	start := time.Now()
+	f, err := s.Go(func(f *Fiber) { f.Sleep(20 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Join(f)
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("woke after %v, want >= 20ms", elapsed)
+	}
+}
+
+func TestSleepDoesNotBlockOtherFibers(t *testing.T) {
+	s := New(1, nil)
+	defer s.Stop()
+	sleeper, err := s.Go(func(f *Fiber) { f.Sleep(100 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	quick, err := s.Go(func(f *Fiber) {
+		for i := 0; i < 10; i++ {
+			f.Yield()
+		}
+		close(done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(90 * time.Millisecond):
+		t.Error("quick fiber starved behind a sleeping fiber")
+	}
+	s.Join(sleeper)
+	s.Join(quick)
+}
+
+func TestYieldUntil(t *testing.T) {
+	s := New(1, nil)
+	defer s.Stop()
+	var flag atomic.Bool
+	setter, err := s.Go(func(f *Fiber) {
+		for i := 0; i < 5; i++ {
+			f.Yield()
+		}
+		flag.Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met bool
+	waiter, err := s.Go(func(f *Fiber) {
+		met = f.YieldUntil(flag.Load, time.Now().Add(time.Second))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Join(setter)
+	s.Join(waiter)
+	if !met {
+		t.Error("YieldUntil must observe the flag")
+	}
+}
+
+func TestYieldUntilDeadline(t *testing.T) {
+	s := New(1, nil)
+	defer s.Stop()
+	var met bool
+	f, err := s.Go(func(f *Fiber) {
+		met = f.YieldUntil(func() bool { return false }, time.Now().Add(10*time.Millisecond))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Join(f)
+	if met {
+		t.Error("YieldUntil must time out on an impossible condition")
+	}
+}
+
+func TestGoAfterStop(t *testing.T) {
+	s := New(1, nil)
+	s.Stop()
+	if _, err := s.Go(func(*Fiber) {}); err != ErrStopped {
+		t.Errorf("got %v, want ErrStopped", err)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	s := New(2, nil)
+	s.Stop()
+	s.Stop() // must not panic or hang
+}
+
+func TestIdleWorkerChargesWorldSwitch(t *testing.T) {
+	rt := enclave.NewRuntime(enclave.RuntimeConfig{
+		Mode:  enclave.ModeScone,
+		Costs: enclave.Costs{WorldSwitch: time.Microsecond},
+	})
+	s := New(1, rt)
+	time.Sleep(20 * time.Millisecond) // idle workers sleep and charge switches
+	s.Stop()
+	if rt.Stats().WorldSwitches == 0 {
+		t.Error("idle worker must charge world switches for its sleeps")
+	}
+}
+
+func TestManyFibersManyWorkers(t *testing.T) {
+	s := New(4, nil)
+	defer s.Stop()
+	var sum atomic.Int64
+	var handles []*Fiber
+	for i := 0; i < 200; i++ {
+		f, err := s.Go(func(f *Fiber) {
+			for j := 0; j < 10; j++ {
+				sum.Add(1)
+				f.Yield()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		s.Join(f)
+	}
+	if got := sum.Load(); got != 2000 {
+		t.Errorf("sum = %d, want 2000", got)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Property: with N always-runnable fibers on one worker, slice counts
+	// stay balanced — no fiber starves or dominates.
+	s := New(1, nil)
+	defer s.Stop()
+	const fibersN, slices = 5, 200
+	counts := make([]atomic.Int64, fibersN)
+	var handles []*Fiber
+	stop := make(chan struct{})
+	for i := 0; i < fibersN; i++ {
+		f, err := s.Go(func(f *Fiber) {
+			idx := int(f.ID()-1) % fibersN
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				counts[idx].Add(1)
+				f.Yield()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	// Wait until the busiest fiber has many slices.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var max int64
+		for i := range counts {
+			if c := counts[i].Load(); c > max {
+				max = c
+			}
+		}
+		if max >= slices || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	for _, f := range handles {
+		s.Join(f)
+	}
+	var min, max int64 = 1 << 62, 0
+	for i := range counts {
+		c := counts[i].Load()
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatal("a fiber starved completely")
+	}
+	if max > 3*min {
+		t.Errorf("unfair scheduling: max %d vs min %d slices", max, min)
+	}
+}
+
+func TestFiberIDsUnique(t *testing.T) {
+	s := New(2, nil)
+	defer s.Stop()
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var handles []*Fiber
+	for i := 0; i < 100; i++ {
+		f, err := s.Go(func(f *Fiber) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[f.ID()] {
+				t.Errorf("duplicate fiber id %d", f.ID())
+			}
+			seen[f.ID()] = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, f)
+	}
+	for _, f := range handles {
+		s.Join(f)
+	}
+}

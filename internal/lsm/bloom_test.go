@@ -1,0 +1,99 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+func TestBloomBasics(t *testing.T) {
+	var b bloomBuilder
+	for i := 0; i < 1000; i++ {
+		b.add([]byte(fmt.Sprintf("present-%d", i)))
+	}
+	filter := b.build()
+	for i := 0; i < 1000; i++ {
+		if !bloomMayContain(filter, []byte(fmt.Sprintf("present-%d", i))) {
+			t.Fatalf("false negative for present-%d", i)
+		}
+	}
+	// False-positive rate must be low (~1% at 10 bits/key).
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if bloomMayContain(filter, []byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Errorf("false-positive rate %.3f, want < 0.03", rate)
+	}
+}
+
+func TestBloomEmptyAndMalformed(t *testing.T) {
+	var b bloomBuilder
+	filter := b.build()
+	if bloomMayContain(filter, []byte("anything")) {
+		t.Error("empty table's filter must reject everything")
+	}
+	if !bloomMayContain(nil, []byte("k")) {
+		t.Error("absent filter must fall through to the table")
+	}
+	if !bloomMayContain([]byte{1, 2}, []byte("k")) {
+		t.Error("malformed filter must fall through")
+	}
+}
+
+func TestSSTBloomSkipsAbsentKeys(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(t)
+	rt := enclave.NewNativeRuntime()
+	w, err := newSSTWriter(dir, 1, seal.LevelEncrypted, key, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := w.add(makeIKey([]byte(fmt.Sprintf("key-%06d", i)), uint64(i+1), KindSet), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta, err := w.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := openSST(dir, 1, seal.LevelEncrypted, key, rt, meta.footerHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if r.filter == nil {
+		t.Fatal("reader did not load the bloom filter")
+	}
+	// Present keys found.
+	if _, _, _, ok, err := r.get([]byte("key-000123"), MaxSeq); err != nil || !ok {
+		t.Fatalf("present key: %v %v", ok, err)
+	}
+	// Absent lookups: the overwhelming majority must not touch blocks.
+	before := rt.Stats().AsyncSyscalls
+	misses := 0
+	for i := 0; i < 200; i++ {
+		_, _, _, ok, err := r.get([]byte(fmt.Sprintf("nope-%06d", i)), MaxSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			misses++
+		}
+	}
+	after := rt.Stats().AsyncSyscalls
+	if misses != 200 {
+		t.Fatalf("%d phantom hits", 200-misses)
+	}
+	// Each block read costs a syscall; bloom should have filtered almost
+	// all 200 lookups (allow a few false positives).
+	if reads := after - before; reads > 20 {
+		t.Errorf("%d block reads for 200 absent keys; bloom not effective", reads)
+	}
+}

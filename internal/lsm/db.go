@@ -1,0 +1,797 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+// CounterFactory supplies the per-log-file trusted counters (§VI: "For
+// each log file, TREATY initializes a unique trusted counter"). name is
+// the log file's base name.
+type CounterFactory func(name string) TrustedCounter
+
+// Options configures a DB.
+type Options struct {
+	// Dir is the database directory (created if missing).
+	Dir string
+	// Level selects the security level (LevelNone = native RocksDB-like,
+	// LevelIntegrity = Treaty w/o Enc, LevelEncrypted = Treaty w/ Enc).
+	Level seal.SecurityLevel
+	// Key is the storage master key (provisioned by the CAS); required
+	// at LevelEncrypted.
+	Key seal.Key
+	// Runtime charges TEE costs; nil means native.
+	Runtime *enclave.Runtime
+	// Counters supplies trusted counters per log file; nil uses
+	// immediate (no rollback protection — native baselines).
+	Counters CounterFactory
+	// MemTableSize triggers a flush when exceeded (default 4 MiB).
+	MemTableSize int64
+	// L0Trigger is the number of L0 files that triggers compaction
+	// (default 4).
+	L0Trigger int
+	// BaseLevelBytes is the L1 size limit; each level below is 10×
+	// (default 16 MiB).
+	BaseLevelBytes int64
+	// SyncWAL fsyncs the WAL on every commit group (default true; can
+	// be disabled for benchmarks that isolate CPU costs).
+	SyncWAL bool
+	// DisableGroupCommit makes every commit write and sync alone (the
+	// group-commit ablation).
+	DisableGroupCommit bool
+	// MaxGroupCommit bounds batches per commit group (default 64).
+	MaxGroupCommit int
+}
+
+// withDefaults fills in zero fields.
+func (o Options) withDefaults() Options {
+	if o.MemTableSize == 0 {
+		o.MemTableSize = 4 << 20
+	}
+	if o.L0Trigger == 0 {
+		o.L0Trigger = 4
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 16 << 20
+	}
+	if o.MaxGroupCommit == 0 {
+		o.MaxGroupCommit = 64
+	}
+	if o.Counters == nil {
+		counters := make(map[string]TrustedCounter)
+		var mu sync.Mutex
+		o.Counters = func(name string) TrustedCounter {
+			mu.Lock()
+			defer mu.Unlock()
+			if c, ok := counters[name]; ok {
+				return c
+			}
+			c := NewImmediateCounter()
+			counters[name] = c
+			return c
+		}
+	}
+	return o
+}
+
+// ErrDBClosed indicates use of a closed DB.
+var ErrDBClosed = errors.New("lsm: db closed")
+
+// StableToken identifies a log position whose rollback protection can be
+// awaited.
+type StableToken struct {
+	ctr   TrustedCounter
+	value uint64
+}
+
+// Wait blocks until the position is rollback-protected.
+func (t StableToken) Wait() error {
+	if t.ctr == nil {
+		return nil
+	}
+	return t.ctr.WaitStable(t.value)
+}
+
+// failableCounter is implemented by trusted counters that can fail
+// permanently (the distributed service after exhausting retries).
+type failableCounter interface {
+	Failed() error
+}
+
+// Ready reports (without blocking) whether waiting is over: the position
+// is rollback-protected OR the counter service failed permanently (Wait
+// then surfaces the error). Fibers poll this and yield instead of
+// blocking.
+func (t StableToken) Ready() bool {
+	if t.ctr == nil {
+		return true
+	}
+	if f, ok := t.ctr.(failableCounter); ok && f.Failed() != nil {
+		return true
+	}
+	return t.ctr.StableValue() >= t.value
+}
+
+// NewStableToken builds a token for an externally managed log (the 2PC
+// layer's Clog binds its entries to its own trusted counter).
+func NewStableToken(ctr TrustedCounter, value uint64) StableToken {
+	return StableToken{ctr: ctr, value: value}
+}
+
+// TxID identifies a distributed transaction (coordinator node id ∥ tx
+// sequence) in prepare/decision records.
+type TxID [16]byte
+
+// PreparedTx is a transaction found prepared but undecided during
+// recovery; the 2PC layer resolves it with its coordinator (§VI).
+type PreparedTx struct {
+	// ID is the global transaction id.
+	ID TxID
+	// Batch is the prepared write set.
+	Batch *Batch
+}
+
+// DB is the Treaty storage engine instance for one node.
+type DB struct {
+	opt Options
+	rt  *enclave.Runtime
+
+	mu       sync.Mutex
+	mem      *memTable
+	imm      []*memTable // oldest first
+	current  *version
+	manifest *manifest
+	wal      *wal
+	walCtr   TrustedCounter
+	readers  map[uint64]*sstReader
+	nextFile uint64
+	lastSeq  atomic.Uint64
+	closed   atomic.Bool
+	bgErr    error
+
+	// commit pipeline
+	commitCh chan *commitReq
+	commitWG sync.WaitGroup
+	closedMu sync.RWMutex
+
+	// background flush/compaction
+	bgWork   chan struct{}
+	bgWG     sync.WaitGroup
+	bgQuit   chan struct{}
+	obsolete []obsoleteFile
+
+	// recovered 2PC state
+	prepared []PreparedTx
+
+	memCipher *seal.Cipher
+
+	// stats
+	flushes, compactions atomic.Uint64
+}
+
+// obsoleteFile is a file awaiting deletion, gated on a manifest entry's
+// stabilization (§VI: old SSTables and logs are deleted only once the
+// superseding entries are stabilized).
+type obsoleteFile struct {
+	path        string
+	manifestCtr uint64
+}
+
+type commitRes struct {
+	token StableToken
+	seq   uint64
+	err   error
+}
+
+type commitReq struct {
+	kind     uint8
+	batch    *Batch
+	txID     TxID
+	decision bool
+	done     chan commitRes
+}
+
+// Open opens (or creates) a database.
+func Open(opt Options) (*DB, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: creating dir: %w", err)
+	}
+	db := &DB{
+		opt:      opt,
+		rt:       opt.Runtime,
+		current:  &version{},
+		readers:  make(map[uint64]*sstReader),
+		commitCh: make(chan *commitReq, 1024),
+		bgWork:   make(chan struct{}, 1),
+		bgQuit:   make(chan struct{}),
+		nextFile: 1,
+	}
+	if opt.Level == seal.LevelEncrypted {
+		c, err := seal.NewCipher(seal.DeriveKey(opt.Key, "memtable"))
+		if err != nil {
+			return nil, err
+		}
+		db.memCipher = c
+	}
+
+	if _, err := os.Stat(manifestName(opt.Dir)); errors.Is(err, os.ErrNotExist) {
+		if err := db.create(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := db.recover(); err != nil {
+			return nil, err
+		}
+	}
+
+	db.commitWG.Add(1)
+	go db.committer()
+	db.bgWG.Add(1)
+	go db.background()
+	return db, nil
+}
+
+// create initializes a fresh database.
+func (db *DB) create() error {
+	m, err := createManifest(db.opt.Dir, db.opt.Level, db.opt.Key, db.rt, db.opt.Counters("MANIFEST-000001"))
+	if err != nil {
+		return err
+	}
+	db.manifest = m
+	walNum := db.allocFileLocked()
+	if err := db.newWALLocked(walNum); err != nil {
+		return err
+	}
+	if _, err := db.manifest.append(&versionEdit{logNumber: walNum, nextFile: db.nextFile}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// allocFileLocked hands out the next file number.
+func (db *DB) allocFileLocked() uint64 {
+	n := db.nextFile
+	db.nextFile++
+	return n
+}
+
+// newWALLocked rotates in a fresh WAL and memtable for log number num.
+func (db *DB) newWALLocked(num uint64) error {
+	ctr := db.opt.Counters(filepath.Base(walFileName(db.opt.Dir, num)))
+	w, err := createWAL(db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt, ctr)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.walCtr = ctr
+	db.mem = newMemTable(db.opt.Level, db.rt, db.memCipher, num)
+	return nil
+}
+
+// LatestSeq returns the most recent committed sequence number; use as the
+// read snapshot for "read latest".
+func (db *DB) LatestSeq() uint64 { return db.lastSeq.Load() }
+
+// Stats reports engine counters.
+type DBStats struct {
+	// Flushes counts memtable flushes.
+	Flushes uint64
+	// Compactions counts level compactions.
+	Compactions uint64
+	// MemEntries is the mutable memtable's entry count.
+	MemEntries int64
+	// LevelFiles is the file count per level.
+	LevelFiles [numLevels]int
+}
+
+// Stats returns a snapshot of engine statistics.
+func (db *DB) Stats() DBStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := DBStats{
+		Flushes:     db.flushes.Load(),
+		Compactions: db.compactions.Load(),
+	}
+	if db.mem != nil {
+		s.MemEntries = db.mem.entries()
+	}
+	for i, fs := range db.current.files {
+		s.LevelFiles[i] = len(fs)
+	}
+	return s
+}
+
+// Get returns the newest value of key visible at readSeq. found=false
+// with nil error means "no such key"; integrity violations return errors.
+func (db *DB) Get(key []byte, readSeq uint64) (value []byte, seq uint64, found bool, err error) {
+	db.mu.Lock()
+	mem := db.mem
+	imms := append([]*memTable(nil), db.imm...)
+	ver := db.current
+	db.mu.Unlock()
+
+	// Mutable memtable first.
+	if v, s, k, ok, gerr := mem.get(key, readSeq); gerr != nil {
+		return nil, 0, false, gerr
+	} else if ok {
+		if k == KindDelete {
+			return nil, 0, false, nil
+		}
+		return v, s, true, nil
+	}
+	// Immutable memtables, newest first.
+	for i := len(imms) - 1; i >= 0; i-- {
+		if v, s, k, ok, gerr := imms[i].get(key, readSeq); gerr != nil {
+			return nil, 0, false, gerr
+		} else if ok {
+			if k == KindDelete {
+				return nil, 0, false, nil
+			}
+			return v, s, true, nil
+		}
+	}
+	// L0: files may overlap; search newest (highest number) first.
+	l0 := append([]fileMeta(nil), ver.files[0]...)
+	sort.Slice(l0, func(i, j int) bool { return l0[i].number > l0[j].number })
+	for _, f := range l0 {
+		if bytes.Compare(key, userKeyOf(f.smallest)) < 0 || bytes.Compare(key, userKeyOf(f.largest)) > 0 {
+			continue
+		}
+		r, rerr := db.reader(f)
+		if rerr != nil {
+			return nil, 0, false, rerr
+		}
+		if v, s, k, ok, gerr := r.get(key, readSeq); gerr != nil {
+			return nil, 0, false, gerr
+		} else if ok {
+			if k == KindDelete {
+				return nil, 0, false, nil
+			}
+			return v, s, true, nil
+		}
+	}
+	// L1+: at most one file per level can contain the key.
+	for lv := 1; lv < numLevels; lv++ {
+		files := ver.files[lv]
+		i := sort.Search(len(files), func(i int) bool {
+			return bytes.Compare(userKeyOf(files[i].largest), key) >= 0
+		})
+		if i >= len(files) || bytes.Compare(key, userKeyOf(files[i].smallest)) < 0 {
+			continue
+		}
+		r, rerr := db.reader(files[i])
+		if rerr != nil {
+			return nil, 0, false, rerr
+		}
+		if v, s, k, ok, gerr := r.get(key, readSeq); gerr != nil {
+			return nil, 0, false, gerr
+		} else if ok {
+			if k == KindDelete {
+				return nil, 0, false, nil
+			}
+			return v, s, true, nil
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// reader returns (opening if needed) the cached reader for f, verifying
+// the table against the manifest-recorded hash.
+func (db *DB) reader(f fileMeta) (*sstReader, error) {
+	db.mu.Lock()
+	r, ok := db.readers[f.number]
+	db.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	want := f.footerHash
+	if db.opt.Level == seal.LevelNone {
+		want = [seal.HashSize]byte{}
+	}
+	r, err := openSST(db.opt.Dir, f.number, db.opt.Level, db.opt.Key, db.rt, want)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if existing, ok := db.readers[f.number]; ok {
+		db.mu.Unlock()
+		r.close()
+		return existing, nil
+	}
+	db.readers[f.number] = r
+	db.mu.Unlock()
+	return r, nil
+}
+
+// submit hands a request to the committer, guarding against Close races.
+func (db *DB) submit(req *commitReq) commitRes {
+	db.closedMu.RLock()
+	if db.closed.Load() {
+		db.closedMu.RUnlock()
+		return commitRes{err: ErrDBClosed}
+	}
+	db.commitCh <- req
+	db.closedMu.RUnlock()
+	return <-req.done
+}
+
+// Apply commits a batch: it is logged to the WAL (group-committed),
+// applied to the memtable, and its stabilization started. The returned
+// token lets callers wait for rollback protection; seq is the batch's
+// first sequence number.
+func (db *DB) Apply(b *Batch) (StableToken, uint64, error) {
+	res := db.submit(&commitReq{kind: walKindBatch, batch: b, done: make(chan commitRes, 1)})
+	return res.token, res.seq, res.err
+}
+
+// LogPrepare durably records a prepared distributed transaction's write
+// set (2PC prepare phase, §V-A). The data is not applied to the memtable;
+// it becomes visible only when the decision arrives and the batch is
+// Apply'd.
+func (db *DB) LogPrepare(id TxID, b *Batch) (StableToken, error) {
+	res := db.submit(&commitReq{kind: walKindPrepare, batch: b, txID: id, done: make(chan commitRes, 1)})
+	return res.token, res.err
+}
+
+// LogDecision durably records the outcome of a prepared transaction so
+// recovery stops re-asking the coordinator about it.
+func (db *DB) LogDecision(id TxID, commit bool) (StableToken, error) {
+	res := db.submit(&commitReq{kind: walKindTxDecision, txID: id, decision: commit, done: make(chan commitRes, 1)})
+	return res.token, res.err
+}
+
+// RecoveredPrepared returns transactions found prepared-but-undecided at
+// recovery; the 2PC layer must resolve them with their coordinators.
+func (db *DB) RecoveredPrepared() []PreparedTx {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]PreparedTx, len(db.prepared))
+	copy(out, db.prepared)
+	return out
+}
+
+// committer is the group-commit leader loop (§VII-B): it drains a group
+// of pending commits, writes all their WAL entries, performs one sync for
+// the whole group, applies the batches to the memtable, and completes the
+// waiters.
+func (db *DB) committer() {
+	defer db.commitWG.Done()
+	for req := range db.commitCh {
+		group := []*commitReq{req}
+		if !db.opt.DisableGroupCommit {
+		drain:
+			for len(group) < db.opt.MaxGroupCommit {
+				select {
+				case r2, ok := <-db.commitCh:
+					if !ok {
+						break drain
+					}
+					group = append(group, r2)
+				default:
+					break drain
+				}
+			}
+		}
+		db.commitGroup(group)
+	}
+}
+
+// commitGroup executes one commit group.
+func (db *DB) commitGroup(group []*commitReq) {
+	db.mu.Lock()
+	results := make([]commitRes, len(group))
+	var maxCtr uint64
+	for i, req := range group {
+		var payload []byte
+		switch req.kind {
+		case walKindBatch:
+			payload = req.batch.encode()
+		case walKindPrepare:
+			payload = append(req.txID[:], req.batch.encode()...)
+		case walKindTxDecision:
+			payload = append(req.txID[:], boolByte(req.decision))
+		}
+		ctr, err := db.wal.append(req.kind, payload)
+		if err != nil {
+			results[i] = commitRes{err: err}
+			continue
+		}
+		maxCtr = ctr
+		results[i] = commitRes{token: StableToken{ctr: db.walCtr, value: ctr}}
+	}
+	if db.opt.SyncWAL {
+		if err := db.wal.sync(); err != nil {
+			for i := range results {
+				if results[i].err == nil {
+					results[i] = commitRes{err: err}
+				}
+			}
+		}
+	}
+	if maxCtr > 0 {
+		db.wal.stabilize(maxCtr)
+	}
+	// Apply batches to the memtable under the same critical section so
+	// sequence order matches log order.
+	for i, req := range group {
+		if results[i].err != nil || req.kind != walKindBatch {
+			continue
+		}
+		recs, err := decodeBatch(req.batch.encode())
+		if err != nil {
+			results[i] = commitRes{err: err}
+			continue
+		}
+		base := db.lastSeq.Load() + 1
+		applyToMemTable(db.mem, base, recs)
+		db.lastSeq.Store(base + uint64(len(recs)) - 1)
+		results[i].seq = base
+	}
+	needFlush := db.mem.approximateSize() >= db.opt.MemTableSize
+	if needFlush {
+		if err := db.rotateMemTableLocked(); err != nil && db.bgErr == nil {
+			db.bgErr = err
+		}
+	}
+	db.mu.Unlock()
+
+	if needFlush {
+		db.scheduleBG()
+	}
+	for i, req := range group {
+		req.done <- results[i]
+	}
+}
+
+// boolByte encodes a bool.
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rotateMemTableLocked moves the mutable memtable to the immutable list
+// and installs a fresh WAL + memtable.
+func (db *DB) rotateMemTableLocked() error {
+	if err := db.wal.sync(); err != nil {
+		return err
+	}
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	db.imm = append(db.imm, db.mem)
+	return db.newWALLocked(db.allocFileLocked())
+}
+
+// scheduleBG pokes the background worker.
+func (db *DB) scheduleBG() {
+	select {
+	case db.bgWork <- struct{}{}:
+	default:
+	}
+}
+
+// Flush forces the current memtable to disk and waits for it.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.mem.entries() > 0 {
+		if err := db.rotateMemTableLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.mu.Unlock()
+	for {
+		db.mu.Lock()
+		pending := len(db.imm)
+		err := db.bgErr
+		db.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if pending == 0 {
+			return nil
+		}
+		db.scheduleBG()
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// background runs flushes and compactions.
+func (db *DB) background() {
+	defer db.bgWG.Done()
+	for {
+		select {
+		case <-db.bgQuit:
+			return
+		case <-db.bgWork:
+		}
+		for db.doBackgroundWork() {
+		}
+	}
+}
+
+// doBackgroundWork performs one flush or compaction; it reports whether
+// more work remains.
+func (db *DB) doBackgroundWork() bool {
+	db.mu.Lock()
+	if len(db.imm) > 0 {
+		imm := db.imm[0]
+		db.mu.Unlock()
+		if err := db.flushMemTable(imm); err != nil {
+			db.setBGErr(err)
+			return false
+		}
+		return true
+	}
+	c := db.pickCompactionLocked()
+	db.mu.Unlock()
+	if c != nil {
+		if err := db.runCompaction(c); err != nil {
+			db.setBGErr(err)
+			return false
+		}
+		return true
+	}
+	db.deleteObsolete()
+	return false
+}
+
+// setBGErr records a background failure.
+func (db *DB) setBGErr(err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.bgErr == nil {
+		db.bgErr = err
+	}
+}
+
+// BGErr returns any background flush/compaction error.
+func (db *DB) BGErr() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.bgErr
+}
+
+// flushMemTable writes imm to a new L0 table, logs the manifest edit,
+// and retires the memtable and its WAL.
+func (db *DB) flushMemTable(imm *memTable) error {
+	db.mu.Lock()
+	num := db.allocFileLocked()
+	db.mu.Unlock()
+
+	w, err := newSSTWriter(db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt)
+	if err != nil {
+		return err
+	}
+	it := imm.newIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		v, verr := it.Value()
+		if verr != nil {
+			w.abort()
+			return verr
+		}
+		if err := w.add(it.Key(), v); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	var edit versionEdit
+	var meta fileMeta
+	if !w.empty() {
+		meta, err = w.finish()
+		if err != nil {
+			return err
+		}
+		meta.level = 0
+		edit.addFiles = []fileMeta{meta}
+	} else {
+		w.abort()
+	}
+
+	db.mu.Lock()
+	// The new min live log is the next memtable's (imm[1] or mem).
+	minLog := db.mem.logNumber
+	if len(db.imm) > 1 {
+		minLog = db.imm[1].logNumber
+	}
+	edit.logNumber = minLog
+	edit.nextFile = db.nextFile
+	// Checkpoint only what this flush made durable in SSTables; entries
+	// in newer (live) WALs are re-derived at replay.
+	edit.lastSeq = imm.maxSeq
+	edit.deletedLogs = []string{filepath.Base(walFileName(db.opt.Dir, imm.logNumber))}
+	ctr, err := db.manifest.append(&edit)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	nv := db.current.clone()
+	nv.apply(&edit)
+	db.current = nv
+	db.imm = db.imm[1:]
+	db.obsolete = append(db.obsolete, obsoleteFile{
+		path:        walFileName(db.opt.Dir, imm.logNumber),
+		manifestCtr: ctr,
+	})
+	db.flushes.Add(1)
+	db.mu.Unlock()
+	imm.release()
+	return nil
+}
+
+// deleteObsolete removes files whose superseding manifest entries have
+// stabilized (§VI: defer deletion until rollback-protected).
+func (db *DB) deleteObsolete() {
+	db.mu.Lock()
+	stable := db.manifest.ctr.StableValue()
+	var keep []obsoleteFile
+	var remove []string
+	for _, o := range db.obsolete {
+		if o.manifestCtr <= stable {
+			remove = append(remove, o.path)
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	db.obsolete = keep
+	db.mu.Unlock()
+	for _, p := range remove {
+		if db.rt != nil {
+			db.rt.Syscall()
+		}
+		os.Remove(p)
+	}
+}
+
+// Close flushes state and shuts the DB down.
+func (db *DB) Close() error {
+	db.closedMu.Lock()
+	alreadyClosed := db.closed.Swap(true)
+	db.closedMu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+	close(db.commitCh)
+	db.commitWG.Wait()
+	close(db.bgQuit)
+	db.bgWG.Wait()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db.wal != nil {
+		record(db.wal.sync())
+		record(db.wal.close())
+	}
+	// Checkpoint the file allocator for the next open. The sequence
+	// allocator is NOT checkpointed here: live-WAL replay re-derives it
+	// (a close-time lastSeq would double-count unflushed entries).
+	if db.manifest != nil {
+		_, err := db.manifest.append(&versionEdit{nextFile: db.nextFile})
+		record(err)
+		record(db.manifest.close())
+	}
+	for _, r := range db.readers {
+		record(r.close())
+	}
+	record(db.bgErr)
+	return firstErr
+}

@@ -1,0 +1,92 @@
+// Package lsm is Treaty's persistent storage engine: a from-scratch
+// log-structured merge tree in the RocksDB/SPEICHER mould (§II-A, §II-C,
+// §V-B, §VII-B). Data flows MemTable → L0 SSTables → leveled compactions;
+// durability comes from a write-ahead log; the MANIFEST records every
+// state change of the persistent storage.
+//
+// The security layering follows SPEICHER, extended for transactions:
+//
+//   - The MemTable separates keys from values: keys (with their version)
+//     stay in enclave memory, values live encrypted in untrusted host
+//     memory with their hash kept alongside the key (§V-B).
+//   - SSTables store encrypted blocks with a footer of per-block hashes;
+//     every read is integrity-checked inside the enclave.
+//   - WAL and MANIFEST entries are hash-chained and bound to trusted
+//     counter values; recovery verifies freshness and state continuity,
+//     detecting rollback and splicing attacks (§VI).
+//   - Old SSTables and logs are deleted only after the MANIFEST entries
+//     describing their replacement are stabilized.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// RecordKind distinguishes value records from tombstones.
+type RecordKind uint8
+
+const (
+	// KindSet is a put record.
+	KindSet RecordKind = iota + 1
+	// KindDelete is a tombstone.
+	KindDelete
+)
+
+// MaxSeq is the largest sequence number (used for "read latest" lookups).
+const MaxSeq = (uint64(1) << 56) - 1
+
+// Internal keys order user keys ascending and, within a user key,
+// sequence numbers *descending* (newest first), so a scan positioned at
+// (key, readSeq) finds the newest visible version first. The encoded form
+// is userKey ∥ 8-byte trailer, trailer = (seq << 8) | kind, stored
+// big-endian inverted so bytes.Compare gives the desired order.
+
+// encodeTrailer packs seq and kind into the 8-byte inverted trailer.
+func encodeTrailer(seq uint64, kind RecordKind) uint64 {
+	return ^((seq << 8) | uint64(kind))
+}
+
+// decodeTrailer unpacks the trailer.
+func decodeTrailer(t uint64) (seq uint64, kind RecordKind) {
+	v := ^t
+	return v >> 8, RecordKind(v & 0xFF)
+}
+
+// makeIKey encodes an internal key.
+func makeIKey(userKey []byte, seq uint64, kind RecordKind) []byte {
+	ik := make([]byte, len(userKey)+8)
+	copy(ik, userKey)
+	binary.BigEndian.PutUint64(ik[len(userKey):], encodeTrailer(seq, kind))
+	return ik
+}
+
+// parseIKey splits an internal key.
+func parseIKey(ik []byte) (userKey []byte, seq uint64, kind RecordKind) {
+	n := len(ik) - 8
+	userKey = ik[:n]
+	seq, kind = decodeTrailer(binary.BigEndian.Uint64(ik[n:]))
+	return
+}
+
+// userKeyOf returns the user-key prefix of an internal key.
+func userKeyOf(ik []byte) []byte { return ik[:len(ik)-8] }
+
+// compareIKeys orders internal keys: user key ascending, then trailer
+// ascending (which is seq descending because the trailer is inverted).
+func compareIKeys(a, b []byte) int {
+	ua, ub := userKeyOf(a), userKeyOf(b)
+	if c := bytes.Compare(ua, ub); c != 0 {
+		return c
+	}
+	ta := binary.BigEndian.Uint64(a[len(ua):])
+	tb := binary.BigEndian.Uint64(b[len(ub):])
+	switch {
+	case ta < tb:
+		return -1
+	case ta > tb:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,128 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+func newTestMemTable(t *testing.T, level seal.SecurityLevel, rt *enclave.Runtime) *memTable {
+	t.Helper()
+	var ciph *seal.Cipher
+	if level == seal.LevelEncrypted {
+		key := testKey(t)
+		c, err := seal.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ciph = c
+	}
+	return newMemTable(level, rt, ciph, 1)
+}
+
+func TestMemTableGetVersions(t *testing.T) {
+	m := newTestMemTable(t, seal.LevelEncrypted, nil)
+	m.add(1, KindSet, []byte("k"), []byte("v1"))
+	m.add(2, KindSet, []byte("k"), []byte("v2"))
+	m.add(3, KindDelete, []byte("k"), nil)
+
+	// Read at each snapshot.
+	v, seq, kind, ok, err := m.get([]byte("k"), 1)
+	if err != nil || !ok || seq != 1 || kind != KindSet || string(v) != "v1" {
+		t.Errorf("at 1: %q seq=%d kind=%d ok=%v err=%v", v, seq, kind, ok, err)
+	}
+	v, seq, kind, ok, err = m.get([]byte("k"), 2)
+	if err != nil || !ok || seq != 2 || string(v) != "v2" {
+		t.Errorf("at 2: %q seq=%d kind=%d ok=%v err=%v", v, seq, kind, ok, err)
+	}
+	_, seq, kind, ok, err = m.get([]byte("k"), MaxSeq)
+	if err != nil || !ok || seq != 3 || kind != KindDelete {
+		t.Errorf("latest: seq=%d kind=%d ok=%v err=%v", seq, kind, ok, err)
+	}
+	// Unknown key.
+	if _, _, _, ok, _ := m.get([]byte("zzz"), MaxSeq); ok {
+		t.Error("phantom key")
+	}
+}
+
+// TestMemTableKVSeparationAccounting pins the SPEICHER/Treaty memory
+// layout: values land in host memory, keys + handles in enclave memory
+// (§V-B, §VII-D).
+func TestMemTableKVSeparationAccounting(t *testing.T) {
+	rt := enclave.NewSconeRuntime()
+	m := newTestMemTable(t, seal.LevelEncrypted, rt)
+	value := bytes.Repeat([]byte("v"), 10_000)
+	for i := 0; i < 20; i++ {
+		m.add(uint64(i+1), KindSet, []byte(fmt.Sprintf("key-%02d", i)), value)
+	}
+	s := rt.Stats()
+	if s.HostBytes < 20*10_000 {
+		t.Errorf("HostBytes = %d, want >= %d (values in host memory)", s.HostBytes, 20*10_000)
+	}
+	if s.EnclaveBytes <= 0 {
+		t.Error("keys and handles must be charged to enclave memory")
+	}
+	if s.EnclaveBytes >= s.HostBytes {
+		t.Errorf("enclave footprint (%d) must be far below host footprint (%d)",
+			s.EnclaveBytes, s.HostBytes)
+	}
+	m.release()
+	s = rt.Stats()
+	if s.HostBytes != 0 {
+		t.Errorf("release must return host memory, HostBytes = %d", s.HostBytes)
+	}
+}
+
+// TestMemTableValueTamperDetected flips a byte in the host arena; the
+// enclave-held hash must expose it.
+func TestMemTableValueTamperDetected(t *testing.T) {
+	for _, level := range []seal.SecurityLevel{seal.LevelIntegrity, seal.LevelEncrypted} {
+		t.Run(level.String(), func(t *testing.T) {
+			m := newTestMemTable(t, level, nil)
+			m.add(1, KindSet, []byte("k"), []byte("sensitive-value"))
+			// The adversary controls host memory: corrupt the arena.
+			m.mu.Lock()
+			m.arena[len(m.arena)/2] ^= 0x01
+			m.mu.Unlock()
+			if _, _, _, _, err := m.get([]byte("k"), MaxSeq); err == nil {
+				t.Error("tampered host value went undetected")
+			}
+		})
+	}
+}
+
+func TestMemTableEncryptedArenaConfidential(t *testing.T) {
+	m := newTestMemTable(t, seal.LevelEncrypted, nil)
+	secret := []byte("do-not-leak-this-value-bytes")
+	m.add(1, KindSet, []byte("k"), secret)
+	m.mu.Lock()
+	leak := bytes.Contains(m.arena, secret)
+	m.mu.Unlock()
+	if leak {
+		t.Error("plaintext value in host arena at encrypted level")
+	}
+}
+
+func TestMemTableIteratorOrder(t *testing.T) {
+	m := newTestMemTable(t, seal.LevelEncrypted, nil)
+	for i, k := range []string{"cherry", "apple", "banana"} {
+		m.add(uint64(i+1), KindSet, []byte(k), []byte(k+"-v"))
+	}
+	it := m.newIterator()
+	var got []string
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		uk, _, _ := parseIKey(it.Key())
+		v, err := it.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(uk)+"="+string(v))
+	}
+	want := "[apple=apple-v banana=banana-v cherry=cherry-v]"
+	if fmt.Sprint(got) != want {
+		t.Errorf("iteration = %v, want %v", got, want)
+	}
+}

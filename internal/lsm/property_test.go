@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treaty/internal/seal"
+)
+
+// TestDBModelEquivalence drives the engine with a long random operation
+// sequence (puts, deletes, overwrites, flushes, restarts) and checks the
+// final state — via Get and via full iteration — against an in-memory
+// model map.
+func TestDBModelEquivalence(t *testing.T) {
+	for _, level := range levelsUnderTest() {
+		t.Run(level.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			key := testKey(t)
+			tc := newTestCounters()
+			opt := Options{
+				Dir: dir, Level: level, Key: key,
+				Counters:     tc.factory,
+				MemTableSize: 32 << 10, // frequent flushes
+				L0Trigger:    2,
+			}
+			db, err := Open(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			model := make(map[string]string)
+			rng := rand.New(rand.NewSource(99))
+			const ops = 3000
+			for i := 0; i < ops; i++ {
+				switch r := rng.Intn(100); {
+				case r < 60: // put
+					k := fmt.Sprintf("key-%03d", rng.Intn(300))
+					v := fmt.Sprintf("val-%d-%d", i, rng.Intn(1000))
+					b := NewBatch()
+					b.Put([]byte(k), []byte(v))
+					if _, _, err := db.Apply(b); err != nil {
+						t.Fatal(err)
+					}
+					model[k] = v
+				case r < 80: // delete
+					k := fmt.Sprintf("key-%03d", rng.Intn(300))
+					b := NewBatch()
+					b.Delete([]byte(k))
+					if _, _, err := db.Apply(b); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, k)
+				case r < 85: // batch of mixed ops
+					b := NewBatch()
+					for j := 0; j < 5; j++ {
+						k := fmt.Sprintf("key-%03d", rng.Intn(300))
+						if rng.Intn(2) == 0 {
+							v := fmt.Sprintf("bval-%d-%d", i, j)
+							b.Put([]byte(k), []byte(v))
+							model[k] = v
+						} else {
+							b.Delete([]byte(k))
+							delete(model, k)
+						}
+					}
+					if _, _, err := db.Apply(b); err != nil {
+						t.Fatal(err)
+					}
+				case r < 95: // point read against the model
+					k := fmt.Sprintf("key-%03d", rng.Intn(300))
+					v, _, found, err := db.Get([]byte(k), db.LatestSeq())
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, ok := model[k]
+					if ok != found || (found && string(v) != want) {
+						t.Fatalf("op %d: Get(%s) = %q/%v, model %q/%v", i, k, v, found, want, ok)
+					}
+				case r < 98: // flush
+					if err := db.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				default: // restart
+					if err := db.Close(); err != nil {
+						t.Fatal(err)
+					}
+					db, err = Open(opt)
+					if err != nil {
+						t.Fatalf("op %d: reopen: %v", i, err)
+					}
+				}
+			}
+
+			// Final check: every model key via Get.
+			for k, want := range model {
+				v, _, found, err := db.Get([]byte(k), db.LatestSeq())
+				if err != nil || !found || string(v) != want {
+					t.Fatalf("final Get(%s) = %q/%v/%v, want %q", k, v, found, err, want)
+				}
+			}
+			// Full iteration matches the model exactly.
+			it, err := db.NewIterator(db.LatestSeq())
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := 0
+			for it.SeekToFirst(); it.Valid(); it.Next() {
+				want, ok := model[string(it.Key())]
+				if !ok {
+					t.Fatalf("iterator surfaced unknown key %q", it.Key())
+				}
+				if string(it.Value()) != want {
+					t.Fatalf("iterator %q = %q, want %q", it.Key(), it.Value(), want)
+				}
+				seen++
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if seen != len(model) {
+				t.Fatalf("iterator saw %d keys, model has %d", seen, len(model))
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDBSnapshotIteratorIgnoresFutureWrites pins iterator snapshot
+// semantics under concurrent-ish mutation.
+func TestDBSnapshotIteratorIgnoresFutureWrites(t *testing.T) {
+	db := openTestDB(t, t.TempDir(), seal.LevelEncrypted, testKey(t), nil)
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		put(t, db, fmt.Sprintf("k%02d", i), "old")
+	}
+	snap := db.LatestSeq()
+	for i := 0; i < 50; i++ {
+		put(t, db, fmt.Sprintf("k%02d", i), "new")
+	}
+	it, err := db.NewIterator(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if string(it.Value()) != "old" {
+			t.Fatalf("snapshot iterator saw %q for %q", it.Value(), it.Key())
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

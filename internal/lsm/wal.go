@@ -1,0 +1,219 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"treaty/internal/enclave"
+	"treaty/internal/seal"
+)
+
+// TrustedCounter is the asynchronous trusted-counter interface a log file
+// binds its entries to (§VI). The LSM assigns deterministic, monotonic
+// counter values itself (via the log codec); the trusted counter service
+// is told about each appended value (Stabilize) and recovery compares the
+// log's last value against the service's quorum-stable value to detect
+// rollbacks. Implementations live in package counter; tests may use
+// immediate fakes.
+type TrustedCounter interface {
+	// Stabilize asynchronously records that entries up to value v exist.
+	Stabilize(v uint64)
+	// WaitStable blocks (or cooperatively yields) until the service has
+	// made v rollback-protected.
+	WaitStable(v uint64) error
+	// StableValue returns the current quorum-stable counter value.
+	StableValue() uint64
+}
+
+// immediateCounter is a TrustedCounter for native (non-secure) builds and
+// unit tests: everything is instantly stable.
+type immediateCounter struct{ v atomic.Uint64 }
+
+// Stabilize implements TrustedCounter.
+func (c *immediateCounter) Stabilize(v uint64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// WaitStable implements TrustedCounter.
+func (c *immediateCounter) WaitStable(uint64) error { return nil }
+
+// StableValue implements TrustedCounter.
+func (c *immediateCounter) StableValue() uint64 { return c.v.Load() }
+
+// NewImmediateCounter returns a TrustedCounter that stabilizes instantly
+// (used for native baselines, where rollback protection is absent).
+func NewImmediateCounter() TrustedCounter { return &immediateCounter{} }
+
+// Entry kinds recorded in the WAL.
+const (
+	// walKindBatch is a committed write batch.
+	walKindBatch uint8 = iota + 1
+	// walKindPrepare is a 2PC prepared-transaction record (§V-A): the
+	// participant's buffered writes plus the global transaction id.
+	walKindPrepare
+	// walKindTxDecision resolves a previously prepared transaction
+	// (commit or abort), written at commit/abort time.
+	walKindTxDecision
+)
+
+// wal is one write-ahead log file. Appends are serialized by the DB's
+// commit path (group commit); Sync flushes to stable storage and
+// Stabilize binds the tail to the trusted counter.
+type wal struct {
+	f      *os.File
+	codec  *seal.LogCodec
+	rt     *enclave.Runtime
+	ctr    TrustedCounter
+	path   string
+	number uint64
+	buf    []byte
+}
+
+// walFileName builds the WAL path for a file number.
+func walFileName(dir string, number uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", number))
+}
+
+// createWAL creates a fresh WAL file.
+func createWAL(dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr TrustedCounter) (*wal, error) {
+	path := walFileName(dir, number)
+	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: creating wal codec: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: creating wal: %w", err)
+	}
+	if rt != nil {
+		rt.Syscall()
+	}
+	return &wal{f: f, codec: codec, rt: rt, ctr: ctr, path: path, number: number}, nil
+}
+
+// append frames and writes one entry, returning its counter value. The
+// write reaches the OS; durability needs sync, rollback protection needs
+// stabilize.
+func (w *wal) append(kind uint8, payload []byte) (uint64, error) {
+	w.buf = w.buf[:0]
+	var ctr uint64
+	w.buf, ctr = w.codec.AppendEntry(w.buf, kind, payload)
+	if w.rt != nil {
+		w.rt.Syscall()
+	}
+	if _, err := w.f.Write(w.buf); err != nil {
+		return 0, fmt.Errorf("lsm: wal write: %w", err)
+	}
+	return ctr, nil
+}
+
+// sync flushes the file to stable storage.
+func (w *wal) sync() error {
+	if w.rt != nil {
+		w.rt.Syscall()
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("lsm: wal sync: %w", err)
+	}
+	return nil
+}
+
+// stabilize asynchronously requests rollback protection up to v.
+func (w *wal) stabilize(v uint64) { w.ctr.Stabilize(v) }
+
+// lastCounter returns the counter value of the most recent entry (0 when
+// empty).
+func (w *wal) lastCounter() uint64 { return w.codec.NextCounter() - 1 }
+
+// close closes the file.
+func (w *wal) close() error {
+	if w.rt != nil {
+		w.rt.Syscall()
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("lsm: wal close: %w", err)
+	}
+	return nil
+}
+
+// walEntry is one recovered WAL record.
+type walEntry struct {
+	kind    uint8
+	counter uint64
+	payload []byte
+}
+
+// ErrRollbackDetected indicates recovery found persistent state that is
+// stale or spliced relative to the trusted counter — a rollback or fork
+// attack (§VI).
+var ErrRollbackDetected = errors.New("lsm: rollback attack detected")
+
+// readWAL replays a WAL file, verifying the hash chain, counter
+// continuity, and — at secure levels — freshness against the trusted
+// counter service:
+//
+//  1. Entries with counter value beyond the trusted stable value are an
+//     unstabilized tail: discarded (they were never acknowledged).
+//  2. A log that ends *before* the trusted stable value is missing
+//     rollback-protected entries: ErrRollbackDetected.
+//
+// maxStable < 0 skips freshness checks (native mode).
+func readWAL(path string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, maxStable int64) ([]walEntry, error) {
+	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: wal codec: %w", err)
+	}
+	if rt != nil {
+		rt.Syscall()
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: reading wal: %w", err)
+	}
+	var out []walEntry
+	off := 0
+	for off < len(data) {
+		if rt != nil {
+			// Each entry costs a (SCONE async) syscall to pull across
+			// the enclave boundary for verification/decryption — small
+			// log entries are the recovery worst case (§VIII-F: "more
+			// syscalls, more decryption calls").
+			rt.Syscall()
+		}
+		e, n, derr := codec.DecodeEntry(data[off:])
+		if derr != nil {
+			if errors.Is(derr, seal.ErrTruncated) && level == seal.LevelNone {
+				// Native logs may have a torn tail after a crash;
+				// RocksDB-style recovery stops at the tear.
+				break
+			}
+			return nil, fmt.Errorf("lsm: wal %s entry at %d: %w", filepath.Base(path), off, derr)
+		}
+		if maxStable >= 0 && e.Counter > uint64(maxStable) {
+			// Unstabilized tail: ignore, it was never rollback-protected
+			// and the client was never acknowledged.
+			break
+		}
+		out = append(out, walEntry{kind: e.Kind, counter: e.Counter, payload: e.Payload})
+		off += n
+	}
+	if maxStable > 0 {
+		last := uint64(0)
+		if len(out) > 0 {
+			last = out[len(out)-1].counter
+		}
+		if last < uint64(maxStable) {
+			return nil, fmt.Errorf("%w: wal %s ends at counter %d, trusted value is %d",
+				ErrRollbackDetected, filepath.Base(path), last, maxStable)
+		}
+	}
+	return out, nil
+}

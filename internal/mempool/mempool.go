@@ -1,0 +1,298 @@
+// Package mempool implements Treaty's scalable memory allocator for
+// transaction and network buffers (§VII-D). Buffers are drawn from
+// size-class free lists grouped into multiple heaps; allocating goroutines
+// are spread across heaps (the paper hashes the thread id) so concurrent
+// transactions do not contend on one lock. Freed buffers are recycled,
+// drastically reducing the amount of mapped memory.
+//
+// Each buffer lives in one of two regions:
+//
+//   - RegionEnclave: trusted enclave memory, charged against the EPC
+//     budget of the owning enclave runtime (paging beyond ~94 MiB).
+//   - RegionHost: untrusted host memory (the paper's hugepage-backed DMA
+//     buffers), free of EPC pressure but requiring the caller to encrypt
+//     contents before writing them.
+//
+// The region split is what lets Treaty keep message buffers and values
+// outside the enclave, avoiding EPC paging at the cost of encryption.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"treaty/internal/enclave"
+)
+
+// Region identifies which memory a buffer occupies.
+type Region int
+
+const (
+	// RegionEnclave is trusted, EPC-limited enclave memory.
+	RegionEnclave Region = iota + 1
+	// RegionHost is untrusted host memory (encrypted contents only).
+	RegionHost
+)
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case RegionEnclave:
+		return "enclave"
+	case RegionHost:
+		return "host"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Size classes: powers of two from 64 B to 4 MiB. Larger requests are
+// allocated directly (and not recycled).
+const (
+	minClassShift = 6  // 64 B
+	maxClassShift = 22 // 4 MiB
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// classFor returns the size-class index for n, or -1 if n is too large.
+func classFor(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	for c, shift := 0, minClassShift; shift <= maxClassShift; c, shift = c+1, shift+1 {
+		if n <= 1<<shift {
+			return c
+		}
+	}
+	return -1
+}
+
+// classSize returns the buffer size of class c.
+func classSize(c int) int { return 1 << (minClassShift + c) }
+
+// Buf is one allocated buffer. Data is the usable slice (capacity equals
+// the size class); Region records where it lives. Return buffers with
+// Pool.Free; a Buf must not be used after Free.
+type Buf struct {
+	// Data is the buffer contents, sized to the original request.
+	Data []byte
+	// Region is the memory region the buffer occupies.
+	Region Region
+
+	pool  *Pool
+	class int // -1 for oversized direct allocations
+}
+
+// Full returns the full-capacity slice of the underlying buffer (useful
+// when a caller wants to grow into the class capacity without realloc).
+func (b *Buf) Full() []byte { return b.Data[:cap(b.Data)] }
+
+// heap is one lockable set of free lists.
+type heap struct {
+	mu   sync.Mutex
+	free [numClasses][]*Buf
+}
+
+// Stats reports allocator activity.
+type Stats struct {
+	// Allocs counts Alloc calls.
+	Allocs uint64
+	// Frees counts Free calls.
+	Frees uint64
+	// Recycled counts allocations served from a free list.
+	Recycled uint64
+	// Oversized counts direct (non-pooled) allocations.
+	Oversized uint64
+	// LiveBytes is the total bytes currently allocated (both regions).
+	LiveBytes int64
+}
+
+// Pool is a multi-heap, size-classed allocator. The zero value is not
+// usable; construct with New.
+type Pool struct {
+	rt    *enclave.Runtime
+	heaps []heap
+	next  atomic.Uint64 // heap assignment counter (stands in for thread-id hash)
+
+	allocs    atomic.Uint64
+	frees     atomic.Uint64
+	recycled  atomic.Uint64
+	oversized atomic.Uint64
+	liveBytes atomic.Int64
+
+	// maxCached bounds the free-list length per class per heap so the
+	// pool releases memory under shrinking load.
+	maxCached int
+}
+
+// New creates a pool with the given number of heaps (0 means 8, matching
+// the paper's 8 application threads), charging region accounting to rt.
+func New(rt *enclave.Runtime, heaps int) *Pool {
+	if heaps <= 0 {
+		heaps = 8
+	}
+	return &Pool{
+		rt:        rt,
+		heaps:     make([]heap, heaps),
+		maxCached: 64,
+	}
+}
+
+// Alloc returns a buffer of length n in the given region. The buffer's
+// capacity is the size class's, so small growth is allocation-free.
+func (p *Pool) Alloc(n int, region Region) *Buf {
+	p.allocs.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		// Oversized: direct allocation, never recycled.
+		p.oversized.Add(1)
+		b := &Buf{Data: make([]byte, n), Region: region, pool: p, class: -1}
+		p.charge(region, n)
+		return b
+	}
+
+	h := &p.heaps[p.next.Add(1)%uint64(len(p.heaps))]
+	h.mu.Lock()
+	if lst := h.free[c]; len(lst) > 0 {
+		b := lst[len(lst)-1]
+		h.free[c] = lst[:len(lst)-1]
+		h.mu.Unlock()
+		p.recycled.Add(1)
+		b.Data = b.Data[:cap(b.Data)][:n]
+		clear(b.Data)
+		b.Region = region
+		p.charge(region, classSize(c))
+		return b
+	}
+	h.mu.Unlock()
+
+	b := &Buf{Data: make([]byte, classSize(c))[:n], Region: region, pool: p, class: c}
+	p.charge(region, classSize(c))
+	return b
+}
+
+// Free returns b to the pool. Double-frees are the caller's bug; the pool
+// does not defend against them beyond clearing the slice on reuse.
+func (p *Pool) Free(b *Buf) {
+	if b == nil || b.pool != p {
+		return
+	}
+	p.frees.Add(1)
+	size := cap(b.Data)
+	if b.class < 0 {
+		size = len(b.Data)
+	}
+	p.discharge(b.Region, size)
+	if b.class < 0 {
+		return // oversized buffers go to the GC
+	}
+	h := &p.heaps[p.next.Add(1)%uint64(len(p.heaps))]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.free[b.class]) < p.maxCached {
+		h.free[b.class] = append(h.free[b.class], b)
+	}
+}
+
+// charge records an allocation with the enclave runtime.
+func (p *Pool) charge(region Region, n int) {
+	p.liveBytes.Add(int64(n))
+	if p.rt == nil {
+		return
+	}
+	switch region {
+	case RegionEnclave:
+		p.rt.AllocEnclave(n)
+	case RegionHost:
+		p.rt.AllocHost(n)
+	}
+}
+
+// discharge records a release with the enclave runtime.
+func (p *Pool) discharge(region Region, n int) {
+	p.liveBytes.Add(int64(-n))
+	if p.rt == nil {
+		return
+	}
+	switch region {
+	case RegionEnclave:
+		p.rt.FreeEnclave(n)
+	case RegionHost:
+		p.rt.FreeHost(n)
+	}
+}
+
+// Stats returns a snapshot of allocator counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Allocs:    p.allocs.Load(),
+		Frees:     p.frees.Load(),
+		Recycled:  p.recycled.Load(),
+		Oversized: p.oversized.Load(),
+		LiveBytes: p.liveBytes.Load(),
+	}
+}
+
+// Arena is a contiguous append-only byte buffer for a transaction's
+// uncommitted writes (§VII-D: "a stream of bytes that allocate continuous
+// memory to eliminate paging"). It grows geometrically in enclave memory
+// and is released wholesale when the transaction ends.
+type Arena struct {
+	pool *Pool
+	buf  *Buf
+	len  int
+}
+
+// NewArena creates an arena with the given initial capacity.
+func (p *Pool) NewArena(initial int) *Arena {
+	if initial < 256 {
+		initial = 256
+	}
+	b := p.Alloc(initial, RegionEnclave)
+	b.Data = b.Data[:0]
+	return &Arena{pool: p, buf: b}
+}
+
+// Append copies data into the arena and returns its offset.
+func (a *Arena) Append(data []byte) int {
+	off := a.len
+	need := a.len + len(data)
+	full := a.buf.Full()
+	if need > len(full) {
+		bigger := a.pool.Alloc(need*2, RegionEnclave)
+		bigger.Data = bigger.Data[:a.len]
+		copy(bigger.Data, full[:a.len])
+		a.pool.Free(a.buf)
+		a.buf = bigger
+		full = a.buf.Full()
+	}
+	copy(full[a.len:], data)
+	a.len = need
+	a.buf.Data = full[:a.len]
+	return off
+}
+
+// Bytes returns the arena contents (valid until Release).
+func (a *Arena) Bytes() []byte { return a.buf.Data[:a.len] }
+
+// Slice returns the sub-slice [off, off+n) of the arena.
+func (a *Arena) Slice(off, n int) []byte { return a.buf.Data[off : off+n] }
+
+// Len returns the number of bytes appended.
+func (a *Arena) Len() int { return a.len }
+
+// Reset discards the contents, retaining capacity.
+func (a *Arena) Reset() {
+	a.len = 0
+	a.buf.Data = a.buf.Data[:0]
+}
+
+// Release returns the arena's memory to the pool. The arena must not be
+// used afterwards.
+func (a *Arena) Release() {
+	if a.buf != nil {
+		a.pool.Free(a.buf)
+		a.buf = nil
+	}
+}

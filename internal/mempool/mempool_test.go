@@ -1,0 +1,205 @@
+package mempool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"treaty/internal/enclave"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1},
+		{4096, 6}, {4097, 7}, {4 << 20, numClasses - 1}, {4<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestAllocLenAndCapacity(t *testing.T) {
+	p := New(nil, 4)
+	for _, n := range []int{1, 64, 100, 4096, 1 << 20} {
+		b := p.Alloc(n, RegionHost)
+		if len(b.Data) != n {
+			t.Errorf("Alloc(%d): len = %d", n, len(b.Data))
+		}
+		if cap(b.Data) < n {
+			t.Errorf("Alloc(%d): cap = %d", n, cap(b.Data))
+		}
+		p.Free(b)
+	}
+}
+
+func TestRecycling(t *testing.T) {
+	p := New(nil, 1)
+	b := p.Alloc(100, RegionHost)
+	for i := range b.Data {
+		b.Data[i] = 0xAB
+	}
+	p.Free(b)
+	b2 := p.Alloc(70, RegionHost) // same size class (65..128)
+	if p.Stats().Recycled != 1 {
+		t.Errorf("Recycled = %d, want 1", p.Stats().Recycled)
+	}
+	// Recycled buffers must be zeroed — stale plaintext in a reused host
+	// buffer would be a confidentiality leak.
+	if !bytes.Equal(b2.Data, make([]byte, 70)) {
+		t.Error("recycled buffer not cleared")
+	}
+}
+
+func TestOversizedNotRecycled(t *testing.T) {
+	p := New(nil, 1)
+	b := p.Alloc(8<<20, RegionHost)
+	p.Free(b)
+	if p.Stats().Oversized != 1 {
+		t.Errorf("Oversized = %d", p.Stats().Oversized)
+	}
+	b2 := p.Alloc(8<<20, RegionHost)
+	if p.Stats().Recycled != 0 {
+		t.Error("oversized buffers must not be recycled")
+	}
+	p.Free(b2)
+	if got := p.Stats().LiveBytes; got != 0 {
+		t.Errorf("LiveBytes = %d, want 0", got)
+	}
+}
+
+func TestRegionAccountingReachesRuntime(t *testing.T) {
+	rt := enclave.NewSconeRuntime()
+	p := New(rt, 2)
+	be := p.Alloc(1000, RegionEnclave)
+	bh := p.Alloc(2000, RegionHost)
+	s := rt.Stats()
+	if s.EnclaveBytes <= 0 {
+		t.Errorf("EnclaveBytes = %d, want > 0", s.EnclaveBytes)
+	}
+	if s.HostBytes <= 0 {
+		t.Errorf("HostBytes = %d, want > 0", s.HostBytes)
+	}
+	p.Free(be)
+	p.Free(bh)
+	s = rt.Stats()
+	if s.EnclaveBytes != 0 || s.HostBytes != 0 {
+		t.Errorf("after free: %+v", s)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := New(nil, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := p.Alloc(64+i%4000, RegionHost)
+				b.Data[0] = byte(i)
+				p.Free(b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Stats().LiveBytes; got != 0 {
+		t.Errorf("LiveBytes = %d after all frees", got)
+	}
+	if p.Stats().Allocs != 16000 || p.Stats().Frees != 16000 {
+		t.Errorf("stats = %+v", p.Stats())
+	}
+}
+
+func TestFreeForeignOrNilBufIgnored(t *testing.T) {
+	p1 := New(nil, 1)
+	p2 := New(nil, 1)
+	b := p1.Alloc(10, RegionHost)
+	p2.Free(b) // foreign: ignored
+	p2.Free(nil)
+	if p2.Stats().Frees != 0 {
+		t.Error("foreign/nil frees must be ignored")
+	}
+	p1.Free(b)
+}
+
+func TestArenaAppendAndSlice(t *testing.T) {
+	p := New(nil, 1)
+	a := p.NewArena(16)
+	defer a.Release()
+
+	off1 := a.Append([]byte("hello"))
+	off2 := a.Append([]byte("world!"))
+	if off1 != 0 || off2 != 5 {
+		t.Errorf("offsets = %d, %d", off1, off2)
+	}
+	if string(a.Slice(off2, 6)) != "world!" {
+		t.Errorf("Slice = %q", a.Slice(off2, 6))
+	}
+	if string(a.Bytes()) != "helloworld!" {
+		t.Errorf("Bytes = %q", a.Bytes())
+	}
+}
+
+func TestArenaGrowthPreservesData(t *testing.T) {
+	p := New(nil, 1)
+	a := p.NewArena(256)
+	defer a.Release()
+
+	var offs []int
+	for i := 0; i < 200; i++ {
+		chunk := bytes.Repeat([]byte{byte(i)}, 37)
+		offs = append(offs, a.Append(chunk))
+	}
+	for i, off := range offs {
+		got := a.Slice(off, 37)
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 37)) {
+			t.Fatalf("chunk %d corrupted after growth", i)
+		}
+	}
+	if a.Len() != 200*37 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	p := New(nil, 1)
+	a := p.NewArena(64)
+	defer a.Release()
+	a.Append([]byte("data"))
+	a.Reset()
+	if a.Len() != 0 || len(a.Bytes()) != 0 {
+		t.Error("Reset must clear length")
+	}
+	if off := a.Append([]byte("new")); off != 0 {
+		t.Errorf("offset after reset = %d", off)
+	}
+}
+
+func TestArenaProperty(t *testing.T) {
+	p := New(nil, 2)
+	f := func(chunks [][]byte) bool {
+		a := p.NewArena(64)
+		defer a.Release()
+		type rec struct {
+			off, n int
+		}
+		var recs []rec
+		for _, c := range chunks {
+			recs = append(recs, rec{a.Append(c), len(c)})
+		}
+		for i, r := range recs {
+			if !bytes.Equal(a.Slice(r.off, r.n), chunks[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

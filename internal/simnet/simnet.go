@@ -1,0 +1,485 @@
+// Package simnet provides the in-process network substrate Treaty's nodes
+// communicate over. It stands in for the paper's 40 GbE testbed fabric and
+// plays two roles:
+//
+//   - A performance model: per-link latency, bandwidth serialization, MTU
+//     (datagrams over the MTU are dropped, as the paper observes for UDP),
+//     and random loss, so network benchmarks exhibit realistic shape.
+//   - The adversary from the threat model (§III): an interposition hook
+//     that can drop, delay, corrupt, duplicate, or replay any packet, plus
+//     partitions. Treaty must *detect* all of these (integrity/freshness
+//     violations) — simnet is how the tests and the adversary example
+//     mount the attacks.
+//
+// Endpoints exchange datagrams; reliability, ordering, and security are
+// the job of the layers above (package erpc).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by this package.
+var (
+	// ErrAddrInUse indicates a Listen on an already-bound address.
+	ErrAddrInUse = errors.New("simnet: address already in use")
+	// ErrUnknownAddr indicates a send to an unbound address.
+	ErrUnknownAddr = errors.New("simnet: unknown address")
+	// ErrClosed indicates use of a closed endpoint or network.
+	ErrClosed = errors.New("simnet: closed")
+)
+
+// Packet is one datagram in flight.
+type Packet struct {
+	// From is the sender address.
+	From string
+	// To is the destination address.
+	To string
+	// Data is the payload. Receivers own the slice.
+	Data []byte
+}
+
+// Verdict is an adversary's decision about a packet.
+type Verdict struct {
+	// Drop discards the packet silently.
+	Drop bool
+	// Delay adds extra in-flight latency.
+	Delay time.Duration
+	// Mutate, if non-nil, replaces the payload (tampering).
+	Mutate func([]byte) []byte
+	// Duplicates is the number of extra copies to deliver (replay).
+	Duplicates int
+}
+
+// Adversary inspects every packet before delivery and returns a verdict.
+// A nil adversary passes everything through. Implementations must be safe
+// for concurrent use.
+type Adversary interface {
+	Interpose(pkt Packet) Verdict
+}
+
+// LinkConfig models one direction of a network path.
+type LinkConfig struct {
+	// Latency is the propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the link bandwidth in bytes per second; zero means
+	// unlimited.
+	BandwidthBps int64
+	// MTU is the maximum datagram size; packets larger than MTU are
+	// dropped when DropOversized is set (UDP-like), otherwise delivered
+	// (the transport is assumed to segment, TCP-like). Zero means no MTU.
+	MTU int
+	// DropOversized selects drop (true, UDP) vs deliver (false, TCP
+	// with segmentation) behaviour for over-MTU packets. When false and
+	// MTU > 0, bandwidth cost still accounts per-segment overhead.
+	DropOversized bool
+	// LossRate is the probability in [0,1) that a packet is dropped.
+	LossRate float64
+}
+
+// Stats counts network activity.
+type Stats struct {
+	// Sent counts packets accepted for transmission.
+	Sent uint64
+	// Delivered counts packets handed to receivers.
+	Delivered uint64
+	// DroppedMTU counts packets dropped for exceeding the MTU.
+	DroppedMTU uint64
+	// DroppedLoss counts packets dropped by random loss.
+	DroppedLoss uint64
+	// DroppedAdversary counts packets dropped by the adversary.
+	DroppedAdversary uint64
+	// DroppedPartition counts packets dropped by partitions.
+	DroppedPartition uint64
+	// BytesDelivered counts delivered payload bytes.
+	BytesDelivered uint64
+}
+
+// Network is a set of endpoints connected by configurable links.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+	links     map[[2]string]*link
+	defaults  LinkConfig
+	adversary Adversary
+	parts     map[[2]string]bool
+	closed    bool
+	quit      chan struct{}
+	drainers  sync.WaitGroup
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+
+	sent             atomic.Uint64
+	delivered        atomic.Uint64
+	droppedMTU       atomic.Uint64
+	droppedLoss      atomic.Uint64
+	droppedAdversary atomic.Uint64
+	droppedPartition atomic.Uint64
+	bytesDelivered   atomic.Uint64
+}
+
+// link carries the per-direction bandwidth serialization state and the
+// delivery queue: one drainer goroutine per link delivers packets in
+// FIFO order at their scheduled times (modelling an in-order pipe
+// without per-packet goroutines).
+type link struct {
+	cfg LinkConfig
+	mu  sync.Mutex
+	// busyUntil is when the link's transmitter becomes free.
+	busyUntil time.Time
+
+	once sync.Once
+	q    chan scheduledPkt
+}
+
+// scheduledPkt is one in-flight packet.
+type scheduledPkt struct {
+	pkt Packet
+	at  time.Time
+	dst *Endpoint
+}
+
+// enqueue schedules delivery, starting the drainer on first use. A full
+// queue drops the packet (pipe overrun).
+func (l *link) enqueue(n *Network, s scheduledPkt) {
+	l.once.Do(func() {
+		l.q = make(chan scheduledPkt, 8192)
+		n.drainers.Add(1)
+		go l.drain(n)
+	})
+	select {
+	case l.q <- s:
+	default:
+	}
+}
+
+// drain delivers scheduled packets in order until the network closes.
+func (l *link) drain(n *Network) {
+	defer n.drainers.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case s := <-l.q:
+			// OS timers cannot resolve below ~100 µs reliably; waiting on
+			// them would add a millisecond to every packet. Sub-50 µs
+			// remainders are delivered immediately — the scheduling delay
+			// to the receiver supplies at least that much latency anyway.
+			if d := time.Until(s.at); d > 50*time.Microsecond {
+				select {
+				case <-n.quit:
+					return
+				case <-time.After(d):
+				}
+			}
+			s.dst.deliver(s.pkt, n)
+		}
+	}
+}
+
+// New creates a network whose links default to cfg. seed makes loss and
+// adversarial randomness reproducible.
+func New(cfg LinkConfig, seed int64) *Network {
+	return &Network{
+		endpoints: make(map[string]*Endpoint),
+		links:     make(map[[2]string]*link),
+		defaults:  cfg,
+		parts:     make(map[[2]string]bool),
+		quit:      make(chan struct{}),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetAdversary installs (or clears, with nil) the packet interposer.
+func (n *Network) SetAdversary(a Adversary) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.adversary = a
+}
+
+// SetLink overrides the link configuration for the from→to direction.
+func (n *Network) SetLink(from, to string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]string{from, to}] = &link{cfg: cfg}
+}
+
+// Partition cuts both directions between a and b.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[[2]string{a, b}] = true
+	n.parts[[2]string{b, a}] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, [2]string{a, b})
+	delete(n.parts, [2]string{b, a})
+}
+
+// Listen binds addr and returns its endpoint.
+func (n *Network) Listen(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	ep := &Endpoint{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan Packet, 4096),
+	}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Close shuts the network down; all endpoints stop receiving and the
+// link drainers exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.quit)
+	for _, ep := range n.endpoints {
+		ep.close()
+	}
+	n.mu.Unlock()
+	n.drainers.Wait()
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:             n.sent.Load(),
+		Delivered:        n.delivered.Load(),
+		DroppedMTU:       n.droppedMTU.Load(),
+		DroppedLoss:      n.droppedLoss.Load(),
+		DroppedAdversary: n.droppedAdversary.Load(),
+		DroppedPartition: n.droppedPartition.Load(),
+		BytesDelivered:   n.bytesDelivered.Load(),
+	}
+}
+
+// linkFor returns the (possibly default) link for from→to.
+func (n *Network) linkFor(from, to string) *link {
+	key := [2]string{from, to}
+	n.mu.RLock()
+	l, ok := n.links[key]
+	n.mu.RUnlock()
+	if ok {
+		return l
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok = n.links[key]; ok {
+		return l
+	}
+	l = &link{cfg: n.defaults}
+	n.links[key] = l
+	return l
+}
+
+// chance samples the seeded RNG.
+func (n *Network) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// send transmits pkt, applying partition, adversary, MTU, loss, latency,
+// and bandwidth in that order.
+func (n *Network) send(pkt Packet) error {
+	n.mu.RLock()
+	closed := n.closed
+	dst, ok := n.endpoints[pkt.To]
+	partitioned := n.parts[[2]string{pkt.From, pkt.To}]
+	adv := n.adversary
+	n.mu.RUnlock()
+
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAddr, pkt.To)
+	}
+	n.sent.Add(1)
+
+	if partitioned {
+		n.droppedPartition.Add(1)
+		return nil // silent, like a real partition
+	}
+
+	copies := 1
+	delay := time.Duration(0)
+	if adv != nil {
+		v := adv.Interpose(pkt)
+		if v.Drop {
+			n.droppedAdversary.Add(1)
+			return nil
+		}
+		if v.Mutate != nil {
+			pkt.Data = v.Mutate(pkt.Data)
+		}
+		delay += v.Delay
+		copies += v.Duplicates
+	}
+
+	l := n.linkFor(pkt.From, pkt.To)
+	cfg := l.cfg
+	if cfg.MTU > 0 && cfg.DropOversized && len(pkt.Data) > cfg.MTU {
+		n.droppedMTU.Add(1)
+		return nil
+	}
+	if n.chance(cfg.LossRate) {
+		n.droppedLoss.Add(1)
+		return nil
+	}
+
+	// Bandwidth: serialize transmissions on the link.
+	var queueDelay time.Duration
+	if cfg.BandwidthBps > 0 {
+		txTime := time.Duration(float64(len(pkt.Data)) / float64(cfg.BandwidthBps) * float64(time.Second))
+		l.mu.Lock()
+		now := time.Now()
+		if l.busyUntil.Before(now) {
+			l.busyUntil = now
+		}
+		l.busyUntil = l.busyUntil.Add(txTime)
+		queueDelay = l.busyUntil.Sub(now)
+		l.mu.Unlock()
+	}
+
+	total := cfg.Latency + queueDelay + delay
+	for i := 0; i < copies; i++ {
+		p := pkt
+		if copies > 1 {
+			p.Data = append([]byte(nil), pkt.Data...)
+		}
+		if total <= 0 {
+			dst.deliver(p, n)
+			continue
+		}
+		l.enqueue(n, scheduledPkt{pkt: p, at: time.Now().Add(total), dst: dst})
+	}
+	return nil
+}
+
+// Endpoint is one bound network address.
+type Endpoint struct {
+	net   *Network
+	addr  string
+	inbox chan Packet
+	// closeMu serializes deliveries against close: deliver holds the
+	// read side while sending on inbox, Close holds the write side while
+	// closing it.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Send transmits data to the given address. The payload is copied; the
+// caller may reuse data immediately.
+func (e *Endpoint) Send(to string, data []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.net.send(Packet{From: e.addr, To: to, Data: append([]byte(nil), data...)})
+}
+
+// Recv blocks until a packet arrives or the endpoint closes.
+func (e *Endpoint) Recv() (Packet, error) {
+	pkt, ok := <-e.inbox
+	if !ok {
+		return Packet{}, ErrClosed
+	}
+	return pkt, nil
+}
+
+// RecvCh exposes the receive ring as a channel so event loops can block
+// on packet arrival instead of sleep-polling (essential on low-core
+// hosts). The channel closes when the endpoint closes.
+func (e *Endpoint) RecvCh() <-chan Packet { return e.inbox }
+
+// Poll returns a packet if one is immediately available. This is the
+// polling receive used by the kernel-bypass RPC event loop (no blocking,
+// no syscalls).
+func (e *Endpoint) Poll() (Packet, bool) {
+	select {
+	case pkt, ok := <-e.inbox:
+		if !ok {
+			return Packet{}, false
+		}
+		return pkt, true
+	default:
+		return Packet{}, false
+	}
+}
+
+// RecvTimeout blocks up to d for a packet.
+func (e *Endpoint) RecvTimeout(d time.Duration) (Packet, error) {
+	select {
+	case pkt, ok := <-e.inbox:
+		if !ok {
+			return Packet{}, ErrClosed
+		}
+		return pkt, nil
+	case <-time.After(d):
+		return Packet{}, errors.New("simnet: receive timeout")
+	}
+}
+
+// deliver hands a packet to the endpoint unless it is closed or full
+// (receiver overrun drops, like a NIC ring).
+func (e *Endpoint) deliver(pkt Packet, n *Network) {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return
+	}
+	select {
+	case e.inbox <- pkt:
+		n.delivered.Add(1)
+		n.bytesDelivered.Add(uint64(len(pkt.Data)))
+	default:
+		// Receiver overrun: drop, as a NIC would.
+	}
+}
+
+// close shuts the endpoint down (called with the network lock held).
+func (e *Endpoint) close() {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.inbox)
+}
+
+// Close unbinds the endpoint from the network.
+func (e *Endpoint) Close() {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	if !e.closed.Load() {
+		delete(e.net.endpoints, e.addr)
+		e.close()
+	}
+}

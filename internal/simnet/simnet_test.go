@@ -1,0 +1,346 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T, cfg LinkConfig) (*Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	n := New(cfg, 1)
+	a, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, a, b
+}
+
+func TestSendRecv(t *testing.T) {
+	_, a, b := pair(t, LinkConfig{})
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.From != "a" || pkt.To != "b" || string(pkt.Data) != "hello" {
+		t.Errorf("pkt = %+v", pkt)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, a, b := pair(t, LinkConfig{})
+	data := []byte("original")
+	if err := a.Send("b", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // mutate after send
+	pkt, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt.Data) != "original" {
+		t.Error("payload must be copied at send time")
+	}
+}
+
+func TestUnknownAddr(t *testing.T) {
+	_, a, _ := pair(t, LinkConfig{})
+	if err := a.Send("nope", []byte("x")); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("got %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := New(LinkConfig{}, 1)
+	defer n.Close()
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("got %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	_, a, b := pair(t, LinkConfig{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("delivered after %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestBandwidthSerializes(t *testing.T) {
+	// 1 MiB/s link, two 100 KiB packets: second arrives ~200ms in.
+	_, a, b := pair(t, LinkConfig{BandwidthBps: 1 << 20})
+	payload := make([]byte, 100<<10)
+	start := time.Now()
+	if err := a.Send("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Errorf("two packets in %v; bandwidth not serialized", elapsed)
+	}
+}
+
+func TestMTUDropUDPStyle(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{MTU: 1460, DropOversized: true})
+	if err := a.Send("b", make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Poll(); ok {
+		t.Error("over-MTU datagram must be dropped")
+	}
+	if n.Stats().DroppedMTU != 1 {
+		t.Errorf("DroppedMTU = %d", n.Stats().DroppedMTU)
+	}
+	// Under the MTU passes.
+	if err := a.Send("b", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTUSegmentingTCPStyle(t *testing.T) {
+	_, a, b := pair(t, LinkConfig{MTU: 1460, DropOversized: false})
+	if err := a.Send("b", make([]byte, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err) // TCP-like links deliver over-MTU payloads
+	}
+}
+
+func TestLoss(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{LossRate: 1.0})
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := b.Poll(); ok {
+		t.Error("100% loss must drop everything")
+	}
+	if n.Stats().DroppedLoss != 10 {
+		t.Errorf("DroppedLoss = %d", n.Stats().DroppedLoss)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	n.Partition("a", "b")
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err) // partitions are silent
+	}
+	if _, ok := b.Poll(); ok {
+		t.Error("partitioned packet delivered")
+	}
+	n.Heal("a", "b")
+	if err := a.Send("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversaryDrop(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	n.SetAdversary(FuncAdversary(func(Packet) Verdict { return Verdict{Drop: true} }))
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Poll(); ok {
+		t.Error("adversary-dropped packet delivered")
+	}
+	if n.Stats().DroppedAdversary != 1 {
+		t.Errorf("DroppedAdversary = %d", n.Stats().DroppedAdversary)
+	}
+}
+
+func TestAdversaryMutate(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	n.SetAdversary(FuncAdversary(func(Packet) Verdict {
+		return Verdict{Mutate: func(d []byte) []byte {
+			out := bytes.Clone(d)
+			out[0] ^= 0xFF
+			return out
+		}}
+	}))
+	if err := a.Send("b", []byte{0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Data[0] != 0xFF {
+		t.Error("mutation not applied")
+	}
+}
+
+func TestAdversaryDuplicate(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	n.SetAdversary(FuncAdversary(func(Packet) Verdict { return Verdict{Duplicates: 2} }))
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.RecvTimeout(time.Second); err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	rec := &Recorder{}
+	n.SetAdversary(rec)
+	if err := a.Send("b", []byte("secret-op")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	n.SetAdversary(nil) // stop recording, then replay the capture
+	if err := rec.Replay(n); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pkt.Data) != "secret-op" || pkt.From != "a" {
+		t.Errorf("replayed pkt = %+v", pkt)
+	}
+}
+
+func TestCorrupterAlwaysCorrupts(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	n.SetAdversary(NewCorrupter(1.0, 7))
+	orig := []byte("payload-bytes")
+	if err := a.Send("b", orig); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(pkt.Data, orig) {
+		t.Error("corrupter must modify the payload")
+	}
+}
+
+func TestChainComposition(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	rec := &Recorder{}
+	n.SetAdversary(Chain{rec, &Delayer{Delay: 5 * time.Millisecond}})
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("chained delayer not applied")
+	}
+	if len(rec.Captured()) != 1 {
+		t.Error("chained recorder missed the packet")
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	_, _, b := pair(t, LinkConfig{})
+	done := make(chan struct{})
+	var got atomic.Bool
+	go func() {
+		_, ok := b.Poll()
+		got.Store(ok)
+		close(done)
+	}()
+	select {
+	case <-done:
+		if got.Load() {
+			t.Error("Poll returned a phantom packet")
+		}
+	case <-time.After(time.Second):
+		t.Error("Poll blocked")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	n, _, b := pair(t, LinkConfig{})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	n.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Error("Recv not unblocked by Close")
+	}
+}
+
+func TestEndpointCloseFreesAddress(t *testing.T) {
+	n := New(LinkConfig{}, 1)
+	defer n.Close()
+	a, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := n.Listen("x"); err != nil {
+		t.Errorf("address not freed after Close: %v", err)
+	}
+}
+
+func TestStatsDelivered(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.Sent != 5 || s.Delivered != 5 || s.BytesDelivered != 500 {
+		t.Errorf("stats = %+v", s)
+	}
+}

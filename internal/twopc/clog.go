@@ -1,0 +1,230 @@
+// Package twopc implements Treaty's secure two-phase commit protocol for
+// distributed transactions (§V) and its stabilization-integrated recovery
+// (§VI). A transaction coordinator (TxC) drives each global transaction:
+// it routes operations to participant nodes over the secure RPC layer,
+// logs 2PC state transitions to the Clog with trusted-counter binding,
+// and commits only after every participant's prepare entry — and its own
+// decision entry — are rollback-protected.
+package twopc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"treaty/internal/enclave"
+	"treaty/internal/lsm"
+	"treaty/internal/seal"
+)
+
+// Clog entry kinds.
+const (
+	// clogPrepare records that the coordinator started the prepare phase
+	// for a transaction with the listed participants (Fig. 2 step 5).
+	clogPrepare uint8 = iota + 1
+	// clogDecision records the commit/abort decision (step 6-7); it must
+	// be stabilized before the transaction commits.
+	clogDecision
+)
+
+// ClogEntry is one recovered coordinator-log record.
+type ClogEntry struct {
+	// Kind is clogPrepare or clogDecision.
+	Kind uint8
+	// TxID is the global transaction id.
+	TxID lsm.TxID
+	// Commit is the decision (valid for clogDecision).
+	Commit bool
+	// Participants lists the involved node addresses (clogPrepare).
+	Participants []string
+	// Counter is the entry's trusted counter value.
+	Counter uint64
+}
+
+// encodeClogPayload serializes an entry body.
+func encodeClogPayload(txID lsm.TxID, commit bool, participants []string) []byte {
+	out := make([]byte, 0, 32)
+	out = append(out, txID[:]...)
+	if commit {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, byte(len(participants)))
+	for _, p := range participants {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// decodeClogPayload parses an entry body.
+func decodeClogPayload(data []byte) (txID lsm.TxID, commit bool, participants []string, err error) {
+	if len(data) < 18 {
+		err = errors.New("twopc: short clog entry")
+		return
+	}
+	copy(txID[:], data)
+	commit = data[16] == 1
+	n := int(data[17])
+	off := 18
+	for i := 0; i < n; i++ {
+		if off+2 > len(data) {
+			err = errors.New("twopc: truncated clog entry")
+			return
+		}
+		l := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+l > len(data) {
+			err = errors.New("twopc: truncated clog entry")
+			return
+		}
+		participants = append(participants, string(data[off:off+l]))
+		off += l
+	}
+	return
+}
+
+// Clog is the coordinator log: it keeps the 2PC protocol state with the
+// same framing, hash chaining, and trusted-counter binding as the WAL and
+// MANIFEST. It is thread-safe; coordinator fibers append independently.
+type Clog struct {
+	mu    sync.Mutex
+	f     *os.File
+	codec *seal.LogCodec
+	rt    *enclave.Runtime
+	ctr   lsm.TrustedCounter
+	buf   []byte
+	// syncEvery fsyncs per append when set. Off by default: the crash
+	// model loses process state, not the OS page cache, and durability
+	// ordering against the trusted counter is what recovery checks. Real
+	// deployments that fear power loss call EnableSync.
+	syncEvery bool
+}
+
+// clogName builds the Clog path.
+func clogName(dir string) string { return filepath.Join(dir, "CLOG-000001") }
+
+// OpenClog creates or re-opens the coordinator log. Existing entries are
+// replayed (verifying chain, counters, and freshness against maxStable;
+// pass -1 to skip freshness) and returned for coordinator recovery.
+func OpenClog(dir string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr lsm.TrustedCounter, maxStable int64) (*Clog, []ClogEntry, error) {
+	path := clogName(dir)
+	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []ClogEntry
+	consumed := int64(0)
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh log.
+	case err != nil:
+		return nil, nil, fmt.Errorf("twopc: reading clog: %w", err)
+	default:
+		off := 0
+		last := uint64(0)
+		for off < len(data) {
+			e, n, derr := codec.DecodeEntry(data[off:])
+			if derr != nil {
+				if errors.Is(derr, seal.ErrTruncated) && level == seal.LevelNone {
+					break
+				}
+				return nil, nil, fmt.Errorf("twopc: clog entry at %d: %w", off, derr)
+			}
+			if maxStable >= 0 && e.Counter > uint64(maxStable) {
+				break // unstabilized tail
+			}
+			txID, commit, parts, perr := decodeClogPayload(e.Payload)
+			if perr != nil {
+				return nil, nil, perr
+			}
+			entries = append(entries, ClogEntry{
+				Kind: e.Kind, TxID: txID, Commit: commit,
+				Participants: parts, Counter: e.Counter,
+			})
+			last = e.Counter
+			off += n
+		}
+		if maxStable > 0 && last < uint64(maxStable) {
+			return nil, nil, fmt.Errorf("%w: clog ends at counter %d, trusted value is %d",
+				lsm.ErrRollbackDetected, last, maxStable)
+		}
+		consumed = int64(off)
+		if err := os.Truncate(path, consumed); err != nil {
+			return nil, nil, fmt.Errorf("twopc: truncating clog: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("twopc: opening clog: %w", err)
+	}
+	if rt != nil {
+		rt.Syscall()
+	}
+	return &Clog{f: f, codec: codec, rt: rt, ctr: ctr}, entries, nil
+}
+
+// Append logs one entry, syncs, and starts stabilizing it; it returns a
+// token the caller can wait on ("Every Tx/operation is logged to Clog
+// with its own unique trusted counter value").
+func (c *Clog) Append(kind uint8, txID lsm.TxID, commit bool, participants []string) (lsm.StableToken, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = c.buf[:0]
+	var ctr uint64
+	c.buf, ctr = c.codec.AppendEntry(c.buf, kind, encodeClogPayload(txID, commit, participants))
+	if c.rt != nil {
+		c.rt.Syscall()
+	}
+	if _, err := c.f.Write(c.buf); err != nil {
+		return lsm.StableToken{}, fmt.Errorf("twopc: clog write: %w", err)
+	}
+	if c.syncEvery {
+		if c.rt != nil {
+			c.rt.Syscall()
+		}
+		if err := c.f.Sync(); err != nil {
+			return lsm.StableToken{}, fmt.Errorf("twopc: clog sync: %w", err)
+		}
+	}
+	c.ctr.Stabilize(ctr)
+	return lsm.NewStableToken(c.ctr, ctr), nil
+}
+
+// EnableSync turns on per-append fsync (power-loss durability).
+func (c *Clog) EnableSync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncEvery = true
+}
+
+// Close closes the log file.
+func (c *Clog) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}
+
+// LastCounter returns the counter value of the most recent entry.
+func (c *Clog) LastCounter() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec.NextCounter() - 1
+}
+
+// Stable reports whether every appended entry is rollback-protected —
+// one of the two preconditions for Clog truncation (§VI: "The Clog is
+// deleted as long as there are no unstable entries and does not contain
+// any unfinished prepared transaction entry"). The other precondition —
+// no unfinished prepared transactions — is the coordinator's to check.
+func (c *Clog) Stable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctr.StableValue() >= c.codec.NextCounter()-1
+}

@@ -1,0 +1,455 @@
+package twopc
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treaty/internal/erpc"
+	"treaty/internal/lsm"
+	"treaty/internal/seal"
+)
+
+// Errors returned by the coordinator.
+var (
+	// ErrAborted indicates the transaction was aborted (a participant
+	// voted no, timed out, or Rollback was called).
+	ErrAborted = errors.New("twopc: transaction aborted")
+	// ErrTxnFinished indicates use of a finished distributed transaction.
+	ErrTxnFinished = errors.New("twopc: transaction already finished")
+)
+
+// Router maps a user key to the RPC address of the node owning its shard.
+type Router func(key []byte) string
+
+// Coordinator drives distributed transactions from one node (the TxC).
+// Every node runs one; clients pick any node as their coordinator.
+type Coordinator struct {
+	nodeID  uint64
+	ep      *erpc.Endpoint
+	clog    *Clog
+	router  Router
+	timeout time.Duration
+
+	nextTx atomic.Uint64
+	nextOp atomic.Uint64
+
+	// decisions records known outcomes for status queries (seeded from
+	// Clog recovery, extended by live traffic).
+	mu        sync.Mutex
+	decisions map[lsm.TxID]bool
+	prepared  map[lsm.TxID][]string // prepare logged, no decision yet
+	// decidedParts keeps the participant lists of decided-but-possibly-
+	// unpushed transactions recovered from the Clog, so RecoverPending
+	// can re-instruct them.
+	decidedParts map[lsm.TxID][]string
+}
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// NodeID is this node's cluster id.
+	NodeID uint64
+	// Endpoint sends protocol messages (its event loop must be driven).
+	Endpoint *erpc.Endpoint
+	// Clog is the coordinator log.
+	Clog *Clog
+	// Router maps keys to owner addresses.
+	Router Router
+	// Timeout bounds each remote operation (0 = 2s).
+	Timeout time.Duration
+	// Recovered seeds protocol state from Clog replay (may be nil).
+	Recovered []ClogEntry
+}
+
+// NewCoordinator creates a coordinator and registers its status handler.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		nodeID:       cfg.NodeID,
+		ep:           cfg.Endpoint,
+		clog:         cfg.Clog,
+		router:       cfg.Router,
+		timeout:      cfg.Timeout,
+		decisions:    make(map[lsm.TxID]bool),
+		prepared:     make(map[lsm.TxID][]string),
+		decidedParts: make(map[lsm.TxID][]string),
+	}
+	if c.timeout == 0 {
+		c.timeout = 2 * time.Second
+	}
+	// Operation ids start at a per-boot random offset so a recovered
+	// coordinator's retry messages never collide with pre-crash tuples
+	// still held in participants' replay caches.
+	var opSeed [4]byte
+	if _, err := rand.Read(opSeed[:]); err == nil {
+		c.nextOp.Store(uint64(binary.LittleEndian.Uint32(opSeed[:])) << 16)
+	}
+	var maxSeq uint64
+	for _, e := range cfg.Recovered {
+		switch e.Kind {
+		case clogPrepare:
+			c.prepared[e.TxID] = e.Participants
+		case clogDecision:
+			c.decisions[e.TxID] = e.Commit
+			c.decidedParts[e.TxID] = e.Participants
+			delete(c.prepared, e.TxID)
+		}
+		if node, seq := splitTxID(e.TxID); node == cfg.NodeID && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	c.nextTx.Store(maxSeq)
+	c.ep.Register(ReqTxStatus, c.handleStatus)
+	return c
+}
+
+// handleStatus answers participant recovery queries: the global tx id is
+// carried in the payload (16 bytes).
+func (c *Coordinator) handleStatus(req *erpc.Request) {
+	if len(req.Payload) < 16 {
+		req.ReplyError("twopc: short status query")
+		return
+	}
+	var id lsm.TxID
+	copy(id[:], req.Payload)
+	c.mu.Lock()
+	commit, decided := c.decisions[id]
+	_, pending := c.prepared[id]
+	c.mu.Unlock()
+	switch {
+	case decided && commit:
+		req.Reply([]byte{StatusCommit})
+	case decided:
+		req.Reply([]byte{StatusAbort})
+	case pending:
+		req.Reply([]byte{StatusPending})
+	default:
+		// Never prepared from this coordinator's perspective: the
+		// decision is abort (presumed abort).
+		req.Reply([]byte{StatusAbort})
+	}
+}
+
+// DistTxn is one distributed transaction driven by a coordinator on
+// behalf of a client. Not safe for concurrent use (one client, one
+// transaction, one fiber — "Each RPC is strictly owned by one thread").
+type DistTxn struct {
+	c     *Coordinator
+	id    lsm.TxID
+	seq   uint64
+	parts map[string]bool
+	yield func()
+	done  bool
+}
+
+// Begin starts a distributed transaction. yield is invoked while waiting
+// for remote replies (fiber cooperation); may be nil.
+func (c *Coordinator) Begin(yield func()) *DistTxn {
+	seq := c.nextTx.Add(1)
+	return &DistTxn{
+		c:     c,
+		id:    globalTxID(c.nodeID, seq),
+		seq:   seq,
+		parts: make(map[string]bool),
+		yield: yield,
+	}
+}
+
+// ID returns the global transaction id.
+func (t *DistTxn) ID() lsm.TxID { return t.id }
+
+// SetYield rebinds the cooperative-wait callback. Server-side client
+// sessions execute each client request on its own fiber, so the current
+// fiber's yield must be bound before every operation.
+func (t *DistTxn) SetYield(yield func()) { t.yield = yield }
+
+// call performs one remote operation against the key's owner.
+func (t *DistTxn) call(addr string, reqType uint8, key, value []byte) ([]byte, error) {
+	md := seal.MsgMetadata{
+		TxID:     t.seq,
+		OpID:     t.c.nextOp.Add(1),
+		OpType:   uint32(reqType),
+		KeyLen:   uint32(len(key)),
+		ValueLen: uint32(len(value)),
+	}
+	payload := make([]byte, 0, len(key)+len(value))
+	payload = append(payload, key...)
+	payload = append(payload, value...)
+	t.parts[addr] = true
+	return erpc.Call(t.c.ep, addr, reqType, md, payload, t.c.timeout, t.yield)
+}
+
+// Get reads key through the owning participant.
+func (t *DistTxn) Get(key []byte) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnFinished
+	}
+	resp, err := t.call(t.c.router(key), ReqTxnGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) == 0 || resp[0] == getNotFound {
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
+}
+
+// Put writes key through the owning participant.
+func (t *DistTxn) Put(key, value []byte) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	_, err := t.call(t.c.router(key), ReqTxnPut, key, value)
+	return err
+}
+
+// Delete removes key through the owning participant.
+func (t *DistTxn) Delete(key []byte) error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	_, err := t.call(t.c.router(key), ReqTxnDelete, key, nil)
+	return err
+}
+
+// broadcast sends reqType to every participant in parallel (enqueue all,
+// then poll) and waits for all replies; it returns the per-participant
+// response payloads and the first error.
+func (t *DistTxn) broadcast(reqType uint8, participants []string) ([][]byte, error) {
+	pendings := make([]*erpc.Pending, len(participants))
+	for i, addr := range participants {
+		md := seal.MsgMetadata{
+			TxID:   t.seq,
+			OpID:   t.c.nextOp.Add(1),
+			OpType: uint32(reqType),
+		}
+		pendings[i] = t.c.ep.Enqueue(addr, reqType, md, nil, nil)
+	}
+	deadline := time.Now().Add(t.c.timeout)
+	responses := make([][]byte, len(pendings))
+	var firstErr error
+	spins := 0
+	for i, p := range pendings {
+		if t.yield == nil {
+			select {
+			case <-p.Ch():
+			case <-time.After(time.Until(deadline)):
+			}
+		} else {
+			for !p.Done() && time.Now().Before(deadline) {
+				t.yield()
+				if spins++; spins%64 == 0 {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}
+		if !p.Done() {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: %s", erpc.ErrTimeout, "2pc broadcast")
+			}
+			continue
+		}
+		if p.Err() != nil && firstErr == nil {
+			firstErr = p.Err()
+		}
+		responses[i] = p.Response()
+	}
+	return responses, firstErr
+}
+
+// participants returns the involved addresses, sorted (determinism).
+func (t *DistTxn) participants() []string {
+	out := make([]string, 0, len(t.parts))
+	for a := range t.parts {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit runs the two-phase commit (Fig. 2):
+//
+//  5. Log the prepare start to the Clog (counter-bound) and send
+//     TxnPrepare to every participant; each prepares its local
+//     transaction and ACKs only after its prepare entry is stabilized.
+//  6. Log the commit decision to the Clog and wait until it is
+//     rollback-protected ("The TxC, before committing/aborting, also
+//     stabilizes the prepare's phase decision on the Clog").
+//  7. Send TxnCommit to all participants. The commit entries need not be
+//     stable before acknowledging the client: after a crash the same
+//     decision re-derives from the stabilized Clog.
+//
+// Any prepare failure aborts everywhere and returns ErrAborted.
+func (t *DistTxn) Commit() error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	t.done = true
+	participants := t.participants()
+	if len(participants) == 0 {
+		return nil // no operations
+	}
+
+	// Step 5: prepare phase.
+	if _, err := t.c.clog.Append(clogPrepare, t.id, false, participants); err != nil {
+		return err
+	}
+	t.c.mu.Lock()
+	t.c.prepared[t.id] = participants
+	t.c.mu.Unlock()
+
+	votes, err := t.broadcast(ReqPrepare, participants)
+	if err != nil {
+		t.decide(false, participants)
+		return fmt.Errorf("%w: prepare failed: %v", ErrAborted, err)
+	}
+	// Read-only participants voted and released at prepare; only writers
+	// need the decision (the read-only 2PC optimization).
+	writers := make([]string, 0, len(participants))
+	for i, addr := range participants {
+		if len(votes[i]) == 0 || votes[i][0] != voteReadOnly {
+			writers = append(writers, addr)
+		}
+	}
+	if len(writers) == 0 {
+		// Fully read-only transaction: nothing to decide or make
+		// durable; record the outcome locally for status queries.
+		t.c.mu.Lock()
+		t.c.decisions[t.id] = true
+		delete(t.c.prepared, t.id)
+		t.c.mu.Unlock()
+		return nil
+	}
+
+	// Steps 6-7: decide commit, stabilize the decision, then commit.
+	token, err := t.c.clog.Append(clogDecision, t.id, true, writers)
+	if err != nil {
+		t.decide(false, writers)
+		return fmt.Errorf("%w: decision log failed: %v", ErrAborted, err)
+	}
+	if err := t.waitToken(token); err != nil {
+		t.decide(false, writers)
+		return fmt.Errorf("%w: decision stabilization failed: %v", ErrAborted, err)
+	}
+	t.c.mu.Lock()
+	t.c.decisions[t.id] = true
+	delete(t.c.prepared, t.id)
+	t.c.mu.Unlock()
+
+	// The decision is stable: the transaction IS committed even if a
+	// commit message is lost; such a participant resolves at recovery.
+	_, _ = t.broadcast(ReqCommit, writers)
+	return nil
+}
+
+// waitToken waits for a stable token, yielding if configured. The final
+// Wait is non-blocking once Ready reports true; it surfaces a permanent
+// counter-service failure as an error.
+func (t *DistTxn) waitToken(token lsm.StableToken) error {
+	if t.yield == nil {
+		return token.Wait()
+	}
+	spins := 0
+	for !token.Ready() {
+		t.yield()
+		if spins++; spins%64 == 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return token.Wait()
+}
+
+// decide logs and pushes an abort decision.
+func (t *DistTxn) decide(commit bool, participants []string) {
+	if _, err := t.c.clog.Append(clogDecision, t.id, commit, participants); err == nil {
+		t.c.mu.Lock()
+		t.c.decisions[t.id] = commit
+		delete(t.c.prepared, t.id)
+		t.c.mu.Unlock()
+	}
+	_, _ = t.broadcast(ReqAbort, participants)
+}
+
+// Rollback aborts the transaction everywhere.
+func (t *DistTxn) Rollback() error {
+	if t.done {
+		return ErrTxnFinished
+	}
+	t.done = true
+	participants := t.participants()
+	if len(participants) == 0 {
+		return nil
+	}
+	t.decide(false, participants)
+	return nil
+}
+
+// RecoverPending finishes transactions the coordinator left in flight at
+// a crash (§VI): for a logged decision the participants are re-
+// instructed; for a prepare without decision the prepare phase is
+// re-executed — participants still holding the prepared transaction
+// re-ACK, and the transaction commits; otherwise it aborts.
+func (c *Coordinator) RecoverPending(yield func()) error {
+	c.mu.Lock()
+	type pending struct {
+		id     lsm.TxID
+		parts  []string
+		commit bool
+		redo   bool
+	}
+	var work []pending
+	for id, parts := range c.prepared {
+		work = append(work, pending{id: id, parts: parts, redo: true})
+	}
+	for id, parts := range c.decidedParts {
+		work = append(work, pending{id: id, parts: parts, commit: c.decisions[id]})
+	}
+	c.decidedParts = make(map[lsm.TxID][]string)
+	c.mu.Unlock()
+	sort.Slice(work, func(i, j int) bool { return string(work[i].id[:]) < string(work[j].id[:]) })
+
+	for _, w := range work {
+		_, seq := splitTxID(w.id)
+		t := &DistTxn{c: c, id: w.id, seq: seq, parts: map[string]bool{}, yield: yield}
+		switch {
+		case w.redo:
+			// Re-execute the prepare phase.
+			if _, err := t.broadcast(ReqPrepare, w.parts); err != nil {
+				t.decide(false, w.parts)
+				continue
+			}
+			token, err := c.clog.Append(clogDecision, w.id, true, w.parts)
+			if err != nil {
+				return err
+			}
+			if err := t.waitToken(token); err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.decisions[w.id] = true
+			delete(c.prepared, w.id)
+			c.mu.Unlock()
+			_, _ = t.broadcast(ReqCommit, w.parts)
+		case w.commit:
+			// Re-push commits for decided transactions; participants that
+			// already committed ignore the message.
+			_, _ = t.broadcast(ReqCommit, w.parts)
+		default:
+			// Decided abort: re-push aborts (also idempotent).
+			_, _ = t.broadcast(ReqAbort, w.parts)
+		}
+	}
+	return nil
+}
+
+// Decision reports a transaction's outcome (test hook).
+func (c *Coordinator) Decision(id lsm.TxID) (commit, decided bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	commit, decided = c.decisions[id]
+	return
+}

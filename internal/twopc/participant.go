@@ -1,0 +1,425 @@
+package twopc
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"treaty/internal/erpc"
+	"treaty/internal/fibers"
+	"treaty/internal/lsm"
+	"treaty/internal/seal"
+	"treaty/internal/txn"
+)
+
+// Participant executes the local halves of distributed transactions:
+// every operation runs in a private single-node pessimistic transaction
+// (§V-A: "Participants create local private Txs through TREATY's
+// single-node transactional KV store"); prepare durably logs the write
+// set and stabilizes before ACKing; commit/abort resolve it.
+//
+// Request handlers run on fibers from the node's userland scheduler, so
+// lock waits and stabilization waits yield instead of blocking the RPC
+// event loop (§VII-C).
+type Participant struct {
+	mgr   *txn.Manager
+	ep    *erpc.Endpoint
+	sched *fibers.Scheduler
+
+	mu     sync.Mutex
+	active map[lsm.TxID]*activeTxn
+
+	// idleTimeout reclaims transactions abandoned by dead coordinators.
+	idleTimeout time.Duration
+	janitorStop chan struct{}
+	janitorWG   sync.WaitGroup
+}
+
+// activeTxn is one in-flight local transaction.
+type activeTxn struct {
+	mu       sync.Mutex
+	local    *txn.Txn
+	id       lsm.TxID
+	prepared bool
+	last     time.Time
+}
+
+// ParticipantConfig configures a Participant.
+type ParticipantConfig struct {
+	// Manager is the node's transaction manager.
+	Manager *txn.Manager
+	// Endpoint serves the 2PC request types.
+	Endpoint *erpc.Endpoint
+	// Scheduler runs request handlers as fibers.
+	Scheduler *fibers.Scheduler
+	// IdleTimeout aborts transactions with no activity (0 = 30s).
+	IdleTimeout time.Duration
+}
+
+// NewParticipant registers the participant's handlers on the endpoint.
+func NewParticipant(cfg ParticipantConfig) *Participant {
+	p := &Participant{
+		mgr:         cfg.Manager,
+		ep:          cfg.Endpoint,
+		sched:       cfg.Scheduler,
+		active:      make(map[lsm.TxID]*activeTxn),
+		idleTimeout: cfg.IdleTimeout,
+		janitorStop: make(chan struct{}),
+	}
+	if p.idleTimeout == 0 {
+		p.idleTimeout = 30 * time.Second
+	}
+	p.ep.Register(ReqTxnGet, p.onFiber(p.handleGet))
+	p.ep.Register(ReqTxnPut, p.onFiber(p.handlePut))
+	p.ep.Register(ReqTxnDelete, p.onFiber(p.handleDelete))
+	p.ep.Register(ReqPrepare, p.onFiber(p.handlePrepare))
+	p.ep.Register(ReqCommit, p.onFiber(p.handleCommit))
+	p.ep.Register(ReqAbort, p.onFiber(p.handleAbort))
+	p.janitorWG.Add(1)
+	go p.janitor()
+	return p
+}
+
+// Close stops the janitor and aborts in-flight transactions.
+func (p *Participant) Close() {
+	close(p.janitorStop)
+	p.janitorWG.Wait()
+	p.mu.Lock()
+	actives := make([]*activeTxn, 0, len(p.active))
+	for _, at := range p.active {
+		actives = append(actives, at)
+	}
+	p.active = make(map[lsm.TxID]*activeTxn)
+	p.mu.Unlock()
+	for _, at := range actives {
+		at.mu.Lock()
+		_ = at.local.Rollback()
+		at.mu.Unlock()
+	}
+}
+
+// onFiber adapts a handler to run on a fiber.
+func (p *Participant) onFiber(h func(*fibers.Fiber, *erpc.Request)) erpc.Handler {
+	return func(req *erpc.Request) {
+		if _, err := p.sched.Go(func(f *fibers.Fiber) { h(f, req) }); err != nil {
+			req.ReplyError(err.Error())
+		}
+	}
+}
+
+// txIDOf extracts the global transaction id from message metadata.
+func txIDOf(md seal.MsgMetadata) lsm.TxID {
+	return globalTxID(md.NodeID, md.TxID)
+}
+
+// find returns the active transaction for id, creating one (with the
+// fiber's yield) if create is set.
+func (p *Participant) find(id lsm.TxID, f *fibers.Fiber, create bool) *activeTxn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	at, ok := p.active[id]
+	if !ok && create {
+		at = &activeTxn{
+			local: p.mgr.BeginPessimistic(nil),
+			id:    id,
+			last:  time.Now(),
+		}
+		p.active[id] = at
+	}
+	if at != nil {
+		at.last = time.Now()
+	}
+	return at
+}
+
+// drop removes a finished transaction.
+func (p *Participant) drop(id lsm.TxID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.active, id)
+}
+
+// validSizes checks the metadata's key/value lengths against the payload
+// (malformed frames must not panic the handler).
+func validSizes(req *erpc.Request) bool {
+	return uint64(req.Meta.KeyLen)+uint64(req.Meta.ValueLen) <= uint64(len(req.Payload))
+}
+
+// handleGet executes a transactional read.
+func (p *Participant) handleGet(f *fibers.Fiber, req *erpc.Request) {
+	if !validSizes(req) {
+		req.ReplyError("twopc: malformed request sizes")
+		return
+	}
+	at := p.find(txIDOf(req.Meta), f, true)
+	key := req.Payload[:req.Meta.KeyLen]
+	at.mu.Lock()
+	at.local.SetYield(f.Yield)
+	v, found, err := at.local.Get(key)
+	at.mu.Unlock()
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	if !found {
+		req.Reply([]byte{getNotFound})
+		return
+	}
+	req.Reply(append([]byte{getFound}, v...))
+}
+
+// handlePut executes a transactional write.
+func (p *Participant) handlePut(f *fibers.Fiber, req *erpc.Request) {
+	if !validSizes(req) {
+		req.ReplyError("twopc: malformed request sizes")
+		return
+	}
+	at := p.find(txIDOf(req.Meta), f, true)
+	key := req.Payload[:req.Meta.KeyLen]
+	value := req.Payload[req.Meta.KeyLen : req.Meta.KeyLen+req.Meta.ValueLen]
+	at.mu.Lock()
+	at.local.SetYield(f.Yield)
+	err := at.local.Put(key, value)
+	at.mu.Unlock()
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// handleDelete executes a transactional delete.
+func (p *Participant) handleDelete(f *fibers.Fiber, req *erpc.Request) {
+	if !validSizes(req) {
+		req.ReplyError("twopc: malformed request sizes")
+		return
+	}
+	at := p.find(txIDOf(req.Meta), f, true)
+	key := req.Payload[:req.Meta.KeyLen]
+	at.mu.Lock()
+	at.local.SetYield(f.Yield)
+	err := at.local.Delete(key)
+	at.mu.Unlock()
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// handlePrepare durably prepares the local transaction. The reply is
+// delayed until the prepare entry is stabilized (§V-A step 8) — the
+// Prepare call below blocks (yielding) until rollback protection holds.
+// Re-prepares of an already-prepared transaction ACK idempotently.
+func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
+	id := txIDOf(req.Meta)
+	at := p.find(id, f, false)
+	if at == nil {
+		// Nothing to prepare here: the coordinator believed we were
+		// involved but we have no state (e.g. crash wiped an unprepared
+		// transaction). Vote no.
+		req.ReplyError("twopc: unknown transaction at prepare")
+		return
+	}
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	at.local.SetYield(f.Yield)
+	if at.prepared {
+		req.Reply([]byte{voteYes})
+		return
+	}
+	if at.local.ReadOnly() {
+		// Read-only optimization: nothing to make durable, nothing to
+		// decide. Release the read locks now and tell the coordinator
+		// not to send us a decision.
+		_ = at.local.Rollback()
+		p.drop(id)
+		req.Reply([]byte{voteReadOnly})
+		return
+	}
+	if err := at.local.Prepare(id); err != nil {
+		_ = at.local.Rollback()
+		p.drop(id)
+		req.ReplyError(err.Error())
+		return
+	}
+	at.prepared = true
+	req.Reply([]byte{voteYes})
+}
+
+// handleCommit commits a prepared transaction. Unknown transactions ACK:
+// prepare-before-commit means an unknown id was already committed and
+// reclaimed ("If a node has already committed the Tx, this message is
+// ignored", §VI).
+func (p *Participant) handleCommit(f *fibers.Fiber, req *erpc.Request) {
+	id := txIDOf(req.Meta)
+	at := p.find(id, f, false)
+	if at == nil {
+		req.Reply(nil)
+		return
+	}
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	at.local.SetYield(f.Yield)
+	if !at.prepared {
+		req.ReplyError("twopc: commit for unprepared transaction")
+		return
+	}
+	if err := at.local.CommitPrepared(id); err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	p.drop(id)
+	req.Reply(nil)
+}
+
+// handleAbort aborts a transaction (prepared or not). Unknown ids ACK.
+func (p *Participant) handleAbort(f *fibers.Fiber, req *erpc.Request) {
+	id := txIDOf(req.Meta)
+	at := p.find(id, f, false)
+	if at == nil {
+		req.Reply(nil)
+		return
+	}
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	at.local.SetYield(f.Yield)
+	var err error
+	if at.prepared {
+		err = at.local.AbortPrepared(id)
+	} else {
+		err = at.local.Rollback()
+	}
+	p.drop(id)
+	if err != nil {
+		req.ReplyError(err.Error())
+		return
+	}
+	req.Reply(nil)
+}
+
+// janitor aborts transactions whose coordinator went silent. Prepared
+// transactions are exempt: their outcome belongs to the coordinator
+// (blocking is inherent to 2PC; recovery resolves them).
+func (p *Participant) janitor() {
+	defer p.janitorWG.Done()
+	ticker := time.NewTicker(p.idleTimeout / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.janitorStop:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-p.idleTimeout)
+		p.mu.Lock()
+		var stale []*activeTxn
+		for id, at := range p.active {
+			if !at.prepared && at.last.Before(cutoff) {
+				stale = append(stale, at)
+				delete(p.active, id)
+			}
+		}
+		p.mu.Unlock()
+		for _, at := range stale {
+			at.mu.Lock()
+			_ = at.local.Rollback()
+			at.mu.Unlock()
+		}
+	}
+}
+
+// RestorePrepared re-initializes prepared transactions found in the WAL
+// at recovery (locks re-acquired, state prepared) so the coordinator's
+// decision can be applied when it arrives.
+func (p *Participant) RestorePrepared(pending []lsm.PreparedTx) error {
+	for _, pt := range pending {
+		local, err := p.mgr.RestorePrepared(pt.Batch, nil)
+		if err != nil {
+			return fmt.Errorf("twopc: restoring %x: %w", pt.ID[:4], err)
+		}
+		p.mu.Lock()
+		p.active[pt.ID] = &activeTxn{local: local, id: pt.ID, prepared: true, last: time.Now()}
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// ResolveRecovered asks each recovered transaction's coordinator for its
+// decision and applies it ("For each prepared Tx, the node communicates
+// with the Tx's coordinator for either committing or aborting", §VI).
+// addrOf maps a coordinator node id to its RPC address. Transactions
+// whose coordinator reports pending are retried until resolved or
+// attempts run out.
+func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attempts int, yield func()) error {
+	p.mu.Lock()
+	var prepared []*activeTxn
+	for _, at := range p.active {
+		if at.prepared {
+			prepared = append(prepared, at)
+		}
+	}
+	p.mu.Unlock()
+
+	// Per-recovery random op-id base (avoids replay-cache collisions
+	// with any pre-crash traffic carrying the same (node, tx) pair).
+	var seed [4]byte
+	opBase := uint64(1) << 32
+	if _, err := rand.Read(seed[:]); err == nil {
+		opBase = uint64(binary.LittleEndian.Uint32(seed[:]))<<16 | 1<<52
+	}
+
+	for _, at := range prepared {
+		coordID, _ := splitTxID(at.id)
+		addr := addrOf(coordID)
+		resolved := false
+		for try := 0; try < attempts && !resolved; try++ {
+			_, seq := splitTxID(at.id)
+			md := seal.MsgMetadata{TxID: seq, OpID: opBase + uint64(try+1), OpType: uint32(ReqTxStatus)}
+			// The status query carries the *original* coordinator's id in
+			// the payload-independent metadata via the global id encoding:
+			// re-derive it server-side from the payload instead.
+			resp, err := erpc.Call(p.ep, addr, ReqTxStatus, md, at.id[:], 2*time.Second, yield)
+			if err != nil || len(resp) == 0 {
+				continue
+			}
+			switch resp[0] {
+			case StatusCommit:
+				at.mu.Lock()
+				err := at.local.CommitPrepared(at.id)
+				at.mu.Unlock()
+				if err != nil {
+					return err
+				}
+				p.drop(at.id)
+				resolved = true
+			case StatusAbort:
+				at.mu.Lock()
+				err := at.local.AbortPrepared(at.id)
+				at.mu.Unlock()
+				if err != nil {
+					return err
+				}
+				p.drop(at.id)
+				resolved = true
+			default:
+				// Pending: coordinator recovery will push a decision; wait
+				// briefly and re-ask.
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+		if !resolved {
+			return fmt.Errorf("twopc: could not resolve recovered tx %x with coordinator %d", at.id[:4], coordID)
+		}
+	}
+	return nil
+}
+
+// ActiveCount reports in-flight transactions (test hook).
+func (p *Participant) ActiveCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.active)
+}

@@ -1,0 +1,68 @@
+package twopc
+
+import (
+	"encoding/binary"
+
+	"treaty/internal/lsm"
+)
+
+// RPC request types of the 2PC protocol.
+const (
+	// ReqTxnGet reads a key inside a transaction.
+	ReqTxnGet uint8 = 0x10 + iota
+	// ReqTxnPut writes a key inside a transaction.
+	ReqTxnPut
+	// ReqTxnDelete deletes a key inside a transaction.
+	ReqTxnDelete
+	// ReqPrepare asks a participant to prepare (lock + log + stabilize).
+	ReqPrepare
+	// ReqCommit instructs a participant to commit its prepared part.
+	ReqCommit
+	// ReqAbort instructs a participant to abort.
+	ReqAbort
+	// ReqTxStatus asks a coordinator for a transaction's decision
+	// (participant-driven recovery).
+	ReqTxStatus
+)
+
+// Transaction status codes returned by ReqTxStatus.
+const (
+	// StatusAbort: the transaction was (or must be) aborted.
+	StatusAbort byte = iota
+	// StatusCommit: the decision was commit.
+	StatusCommit
+	// StatusPending: the coordinator has not decided yet.
+	StatusPending
+)
+
+// Get-response framing: found(1) ∥ value.
+const (
+	getNotFound byte = 0
+	getFound    byte = 1
+)
+
+// Prepare votes carried in the prepare response payload.
+const (
+	// voteYes: prepared and stabilized; awaiting the decision.
+	voteYes byte = 0
+	// voteReadOnly: the participant executed only reads — it has
+	// released its locks and needs no decision (the classic read-only
+	// 2PC optimization: one round instead of two for RO participants).
+	voteReadOnly byte = 1
+)
+
+// globalTxID builds the cluster-unique transaction id from the
+// coordinator's node id and its per-node monotonic sequence ("uniquely
+// identified by a monotonically [increasing] sequence number and the
+// node id", §V-A).
+func globalTxID(nodeID, seq uint64) lsm.TxID {
+	var id lsm.TxID
+	binary.LittleEndian.PutUint64(id[:8], nodeID)
+	binary.LittleEndian.PutUint64(id[8:], seq)
+	return id
+}
+
+// splitTxID recovers the coordinator node id and sequence.
+func splitTxID(id lsm.TxID) (nodeID, seq uint64) {
+	return binary.LittleEndian.Uint64(id[:8]), binary.LittleEndian.Uint64(id[8:])
+}

@@ -1,0 +1,744 @@
+package twopc
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"treaty/internal/erpc"
+	"treaty/internal/fibers"
+	"treaty/internal/lsm"
+	"treaty/internal/seal"
+	"treaty/internal/simnet"
+	"treaty/internal/txn"
+)
+
+// testNode is one cluster node: engine + txn manager + participant +
+// coordinator, all over a shared simnet.
+type testNode struct {
+	id     uint64
+	addr   string
+	dir    string
+	db     *lsm.DB
+	mgr    *txn.Manager
+	part   *Participant
+	coord  *Coordinator
+	clog   *Clog
+	ep     *erpc.Endpoint
+	poller *erpc.Poller
+	sched  *fibers.Scheduler
+}
+
+// testCluster is an N-node cluster.
+type testCluster struct {
+	t      *testing.T
+	net    *simnet.Network
+	nodes  []*testNode
+	key    seal.Key
+	ctrs   *sharedCounters
+	router Router
+}
+
+// sharedCounters is an immediate trusted-counter service shared across
+// node restarts.
+type sharedCounters struct {
+	m map[string]*fakeCounter
+}
+
+type fakeCounter struct{ v atomic.Uint64 }
+
+func (c *fakeCounter) Stabilize(v uint64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+func (c *fakeCounter) WaitStable(uint64) error { return nil }
+func (c *fakeCounter) StableValue() uint64     { return c.v.Load() }
+
+func (s *sharedCounters) factory(prefix string) lsm.CounterFactory {
+	return func(name string) lsm.TrustedCounter {
+		full := prefix + "/" + name
+		if c, ok := s.m[full]; ok {
+			return c
+		}
+		c := &fakeCounter{}
+		s.m[full] = c
+		return c
+	}
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		t:    t,
+		net:  simnet.New(simnet.LinkConfig{}, 11),
+		key:  key,
+		ctrs: &sharedCounters{m: make(map[string]*fakeCounter)},
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%d", i)
+	}
+	tc.router = func(k []byte) string {
+		h := fnv.New32a()
+		h.Write(k)
+		return addrs[h.Sum32()%uint32(n)]
+	}
+	for i := 0; i < n; i++ {
+		tc.nodes = append(tc.nodes, tc.startNode(uint64(i), addrs[i], t.TempDir()))
+	}
+	t.Cleanup(func() {
+		for _, nd := range tc.nodes {
+			if nd != nil {
+				tc.stopNode(nd)
+			}
+		}
+		tc.net.Close()
+	})
+	return tc
+}
+
+// startNode builds a node (dir persists across restarts).
+func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
+	tc.t.Helper()
+	nep, err := tc.net.Listen(addr)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	ep, err := erpc.NewEndpoint(erpc.Config{
+		NodeID:    id,
+		Transport: erpc.NewSimTransport(nep, nil, erpc.KindDPDK),
+		Secure:    true, NetworkKey: tc.key,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	db, err := lsm.Open(lsm.Options{
+		Dir: dir, Level: seal.LevelEncrypted, Key: tc.key,
+		Counters: tc.ctrs.factory(addr),
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	mgr := txn.NewManager(txn.Config{DB: db, LockTimeout: 500 * time.Millisecond, WaitStable: true})
+	sched := fibers.New(4, nil)
+	part := NewParticipant(ParticipantConfig{
+		Manager: mgr, Endpoint: ep, Scheduler: sched, IdleTimeout: 5 * time.Second,
+	})
+	clogCtr := tc.ctrs.factory(addr)("CLOG-000001")
+	clog, recovered, err := OpenClog(dir, seal.LevelEncrypted, tc.key, nil, clogCtr, int64(clogCtr.StableValue()))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorConfig{
+		NodeID: id, Endpoint: ep, Clog: clog, Router: tc.router,
+		Timeout: 3 * time.Second, Recovered: recovered,
+	})
+	if err := part.RestorePrepared(db.RecoveredPrepared()); err != nil {
+		tc.t.Fatal(err)
+	}
+	nd := &testNode{
+		id: id, addr: addr, dir: dir, db: db, mgr: mgr,
+		part: part, coord: coord, clog: clog, ep: ep, sched: sched,
+	}
+	nd.poller = erpc.StartPoller(ep)
+	return nd
+}
+
+// stopNode shuts a node down cleanly.
+func (tc *testCluster) stopNode(nd *testNode) {
+	nd.poller.Stop()
+	nd.part.Close()
+	nd.sched.Stop()
+	nd.clog.Close()
+	nd.db.Close()
+	nd.ep.Close()
+}
+
+// crashNode kills a node without any graceful shutdown (in-memory state
+// lost; files remain). The address is freed for a restart.
+func (tc *testCluster) crashNode(i int) {
+	nd := tc.nodes[i]
+	nd.poller.Stop()
+	nd.ep.Close()
+	// The DB is abandoned (no Close): memtable contents are "lost", only
+	// synced files survive — crash-fail semantics.
+	tc.nodes[i] = nil
+}
+
+// restartNode brings a crashed node back from its directory.
+func (tc *testCluster) restartNode(i int, addr string, dir string) *testNode {
+	nd := tc.startNode(uint64(i), addr, dir)
+	tc.nodes[i] = nd
+	return nd
+}
+
+func distGet(t *testing.T, tx *DistTxn, key string) (string, bool) {
+	t.Helper()
+	v, ok, err := tx.Get([]byte(key))
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	return string(v), ok
+}
+
+func TestDistributedCommitAcrossShards(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	coord := tc.nodes[0].coord
+
+	tx := coord.Begin(nil)
+	// Write enough keys to hit all shards.
+	for i := 0; i < 12; i++ {
+		if err := tx.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All keys visible through a new transaction (from another node).
+	tx2 := tc.nodes[1].coord.Begin(nil)
+	for i := 0; i < 12; i++ {
+		v, ok := distGet(t, tx2, fmt.Sprintf("key-%d", i))
+		if !ok || v != fmt.Sprintf("val-%d", i) {
+			t.Errorf("key-%d = %q/%v", i, v, ok)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedRollback(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tx := tc.nodes[0].coord.Begin(nil)
+	for i := 0; i < 6; i++ {
+		if err := tx.Put([]byte(fmt.Sprintf("rb-%d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := tc.nodes[0].coord.Begin(nil)
+	for i := 0; i < 6; i++ {
+		if _, ok := distGet(t, tx2, fmt.Sprintf("rb-%d", i)); ok {
+			t.Errorf("rolled-back key rb-%d visible", i)
+		}
+	}
+	tx2.Rollback()
+}
+
+func TestDistributedReadMyWrites(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tx := tc.nodes[0].coord.Begin(nil)
+	if err := tx.Put([]byte("mykey"), []byte("myval")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := distGet(t, tx, "mykey"); !ok || v != "myval" {
+		t.Errorf("RYOW across network = %q/%v", v, ok)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedIsolationConflict(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	t1 := tc.nodes[0].coord.Begin(nil)
+	if err := t1.Put([]byte("contended"), []byte("t1")); err != nil {
+		t.Fatal(err)
+	}
+	// t2 (different coordinator) conflicts on the same key and times out.
+	t2 := tc.nodes[1].coord.Begin(nil)
+	err := t2.Put([]byte("contended"), []byte("t2"))
+	if err == nil {
+		t.Fatal("conflicting write must fail while t1 holds the lock")
+	}
+	t2.Rollback()
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t3 := tc.nodes[1].coord.Begin(nil)
+	if v, ok := distGet(t, t3, "contended"); !ok || v != "t1" {
+		t.Errorf("contended = %q/%v", v, ok)
+	}
+	t3.Rollback()
+}
+
+func TestDistributedAtomicityTransfer(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	// Seed two accounts on (likely) different shards.
+	seed := tc.nodes[0].coord.Begin(nil)
+	if err := seed.Put([]byte("acct-alice"), []byte{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Put([]byte("acct-bob"), []byte{50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer 30.
+	tx := tc.nodes[1].coord.Begin(nil)
+	av, _ := distGet(t, tx, "acct-alice")
+	bv, _ := distGet(t, tx, "acct-bob")
+	if err := tx.Put([]byte("acct-alice"), []byte{av[0] - 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put([]byte("acct-bob"), []byte{bv[0] + 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check := tc.nodes[2].coord.Begin(nil)
+	a, _ := distGet(t, check, "acct-alice")
+	b, _ := distGet(t, check, "acct-bob")
+	if a[0] != 70 || b[0] != 80 {
+		t.Errorf("balances = %d/%d, want 70/80", a[0], b[0])
+	}
+	check.Rollback()
+}
+
+func TestCommitWithFibersYield(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	sched := fibers.New(2, nil)
+	defer sched.Stop()
+	done := make(chan error, 1)
+	_, err := sched.Go(func(f *fibers.Fiber) {
+		tx := tc.nodes[0].coord.Begin(f.Yield)
+		for i := 0; i < 6; i++ {
+			if err := tx.Put([]byte(fmt.Sprintf("fib-%d", i)), []byte("v")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- tx.Commit()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fiber transaction hung")
+	}
+}
+
+func TestParticipantCrashBeforePrepareAborts(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	// Partition node-2 away mid-transaction: prepare cannot reach it.
+	tx := tc.nodes[0].coord.Begin(nil)
+	wrote := 0
+	for i := 0; wrote < 8; i++ {
+		key := fmt.Sprintf("part-%d", i)
+		if err := tx.Put([]byte(key), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		wrote++
+	}
+	tc.net.Partition("node-0", "node-2")
+	err := tx.Commit()
+	if tc.router([]byte("anything")) == "" {
+		t.Fatal("router broken")
+	}
+	// If node-2 held any keys, the commit must abort; otherwise it may
+	// succeed. Either way the outcome must be atomic.
+	if err != nil && !errors.Is(err, ErrAborted) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	tc.net.Heal("node-0", "node-2")
+	commit, decided := tc.nodes[0].coord.Decision(tx.ID())
+	if !decided {
+		t.Fatal("coordinator must have decided")
+	}
+	// Verify atomicity: all keys present iff committed.
+	check := tc.nodes[0].coord.Begin(nil)
+	present := 0
+	for i := 0; i < 8; i++ {
+		if _, ok := distGet(t, check, fmt.Sprintf("part-%d", i)); ok {
+			present++
+		}
+	}
+	check.Rollback()
+	if commit && present != 8 {
+		t.Errorf("committed but only %d/8 keys visible", present)
+	}
+	if !commit && present != 0 {
+		t.Errorf("aborted but %d keys visible", present)
+	}
+}
+
+func TestCoordinatorCrashRecoveryCommitsDecided(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	coordNode := tc.nodes[0]
+
+	// Run a committed transaction, then crash the coordinator node and
+	// restart it: the decision must survive in the Clog and be re-pushed.
+	tx := coordNode.coord.Begin(nil)
+	for i := 0; i < 9; i++ {
+		if err := tx.Put([]byte(fmt.Sprintf("crash-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	id := tx.ID()
+	addr, dir := coordNode.addr, coordNode.dir
+	tc.crashNode(0)
+
+	nd := tc.restartNode(0, addr, dir)
+	commit, decided := nd.coord.Decision(id)
+	if !decided || !commit {
+		t.Fatalf("recovered decision = %v/%v, want commit", commit, decided)
+	}
+	if err := nd.coord.RecoverPending(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Data still visible cluster-wide.
+	check := tc.nodes[1].coord.Begin(nil)
+	for i := 0; i < 9; i++ {
+		if _, ok := distGet(t, check, fmt.Sprintf("crash-%d", i)); !ok {
+			t.Errorf("crash-%d missing after coordinator recovery", i)
+		}
+	}
+	check.Rollback()
+}
+
+func TestStatusQueryAnswers(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tx := tc.nodes[0].coord.Begin(nil)
+	if err := tx.Put([]byte("status-key"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Ask node-0's coordinator from node-1's endpoint.
+	id := tx.ID()
+	md := seal.MsgMetadata{TxID: 999, OpID: 1}
+	resp, err := erpc.Call(tc.nodes[1].ep, "node-0", ReqTxStatus, md, id[:], 2*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 1 || resp[0] != StatusCommit {
+		t.Errorf("status = %v, want commit", resp)
+	}
+	// Unknown transaction: presumed abort.
+	var unknown lsm.TxID
+	copy(unknown[:], "never-existed!!!")
+	resp, err = erpc.Call(tc.nodes[1].ep, "node-0", ReqTxStatus, seal.MsgMetadata{TxID: 998, OpID: 1}, unknown[:], 2*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[0] != StatusAbort {
+		t.Errorf("unknown tx status = %v, want abort", resp)
+	}
+}
+
+func TestSequentialTransactionsManyClients(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		go func(c int) {
+			coord := tc.nodes[c%3].coord
+			for i := 0; i < 10; i++ {
+				tx := coord.Begin(nil)
+				key := fmt.Sprintf("client-%d-%d", c, i)
+				if err := tx.Put([]byte(key), []byte("v")); err != nil {
+					tx.Rollback()
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < 8; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spot check.
+	check := tc.nodes[0].coord.Begin(nil)
+	if _, ok := distGet(t, check, "client-7-9"); !ok {
+		t.Error("client-7-9 missing")
+	}
+	check.Rollback()
+}
+
+func TestClogRoundTripAndTamper(t *testing.T) {
+	dir := t.TempDir()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &fakeCounter{}
+	clog, recovered, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatal("fresh clog must be empty")
+	}
+	id := globalTxID(3, 77)
+	if _, err := clog.Append(clogPrepare, id, false, []string{"node-1", "node-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog.Append(clogDecision, id, true, []string{"node-1", "node-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, entries, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2", len(entries))
+	}
+	if entries[0].Kind != clogPrepare || entries[1].Kind != clogDecision || !entries[1].Commit {
+		t.Errorf("entries = %+v", entries)
+	}
+	if entries[0].TxID != id || len(entries[0].Participants) != 2 {
+		t.Errorf("prepare entry = %+v", entries[0])
+	}
+	node, seq := splitTxID(entries[0].TxID)
+	if node != 3 || seq != 77 {
+		t.Errorf("txid split = %d/%d", node, seq)
+	}
+}
+
+func TestJanitorReclaimsAbandonedTxns(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	// Shrink the idle timeout on one participant.
+	nd := tc.nodes[1]
+	nd.part.Close()
+	nd.part = NewParticipant(ParticipantConfig{
+		Manager: nd.mgr, Endpoint: nd.ep, Scheduler: nd.sched,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+
+	// A coordinator writes to node-1 and then disappears (never commits).
+	tx := tc.nodes[0].coord.Begin(nil)
+	var victim string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("abandon-%d", i)
+		if tc.router([]byte(k)) == "node-1" {
+			victim = k
+			break
+		}
+	}
+	if err := tx.Put([]byte(victim), []byte("locked")); err != nil {
+		t.Fatal(err)
+	}
+	if nd.part.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1", nd.part.ActiveCount())
+	}
+	// The janitor must abort it and release the lock.
+	deadline := time.Now().Add(3 * time.Second)
+	for nd.part.ActiveCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never reclaimed the abandoned transaction")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The key is writable again by a fresh transaction.
+	tx2 := tc.nodes[2].coord.Begin(nil)
+	if err := tx2.Put([]byte(victim), []byte("fresh")); err != nil {
+		t.Fatalf("lock not released after janitor: %v", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyOptimization(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	seed := tc.nodes[0].coord.Begin(nil)
+	for i := 0; i < 6; i++ {
+		if err := seed.Put([]byte(fmt.Sprintf("ro-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A purely read-only distributed transaction: every participant votes
+	// read-only at prepare, releases immediately, and no decision round
+	// is needed — Commit must succeed and leave no active state behind.
+	tx := tc.nodes[1].coord.Begin(nil)
+	for i := 0; i < 6; i++ {
+		if _, ok := distGet(t, tx, fmt.Sprintf("ro-%d", i)); !ok {
+			t.Fatalf("ro-%d missing", i)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+	commit, decided := tc.nodes[1].coord.Decision(tx.ID())
+	if !decided || !commit {
+		t.Errorf("read-only txn decision = %v/%v", commit, decided)
+	}
+	// Participants must have dropped the transaction at prepare.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		total := 0
+		for _, nd := range tc.nodes {
+			total += nd.part.ActiveCount()
+		}
+		if total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d transactions still active after read-only commit", total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Mixed transaction: reads on some shards, writes on others — the
+	// writers get the decision, the readers release early, and the
+	// writes are visible afterwards.
+	tx2 := tc.nodes[0].coord.Begin(nil)
+	if _, ok := distGet(t, tx2, "ro-0"); !ok {
+		t.Fatal("read failed")
+	}
+	if err := tx2.Put([]byte("mixed-write"), []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check := tc.nodes[2].coord.Begin(nil)
+	if v, ok := distGet(t, check, "mixed-write"); !ok || v != "w" {
+		t.Errorf("mixed-write = %q/%v", v, ok)
+	}
+	check.Rollback()
+}
+
+func TestClogStableAndLastCounter(t *testing.T) {
+	dir := t.TempDir()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &manualCounter{}
+	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clog.Close()
+	id := globalTxID(1, 1)
+	if _, err := clog.Append(clogPrepare, id, false, []string{"n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if clog.LastCounter() != 1 {
+		t.Errorf("LastCounter = %d", clog.LastCounter())
+	}
+	if clog.Stable() {
+		t.Error("entry not yet stabilized; Stable must be false")
+	}
+	ctr.set(1)
+	if !clog.Stable() {
+		t.Error("all entries stabilized; Stable must be true")
+	}
+}
+
+func TestClogRollbackDetected(t *testing.T) {
+	// Write two entries, stabilize both, then present a log truncated to
+	// one entry: recovery must refuse (freshness violation, §VI).
+	dir := t.TempDir()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &fakeCounter{}
+	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := globalTxID(1, 1)
+	if _, err := clog.Append(clogPrepare, id, false, []string{"n1"}); err != nil {
+		t.Fatal(err)
+	}
+	data1, err := os.ReadFile(clogName(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog.Append(clogDecision, id, true, []string{"n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The adversary rolls the file back to the one-entry snapshot.
+	if err := os.WriteFile(clogName(dir), data1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
+	if !errors.Is(err, lsm.ErrRollbackDetected) {
+		t.Fatalf("got %v, want ErrRollbackDetected", err)
+	}
+}
+
+func TestClogTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &fakeCounter{}
+	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clog.Append(clogPrepare, globalTxID(1, 1), false, []string{"n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(clogName(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(clogName(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue())); err == nil {
+		t.Fatal("tampered clog accepted")
+	}
+}
+
+// manualCounter lets tests control the stable value explicitly.
+type manualCounter struct{ v atomic.Uint64 }
+
+func (c *manualCounter) Stabilize(uint64)        {}
+func (c *manualCounter) WaitStable(uint64) error { return nil }
+func (c *manualCounter) StableValue() uint64     { return c.v.Load() }
+func (c *manualCounter) set(v uint64)            { c.v.Store(v) }

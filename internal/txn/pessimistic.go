@@ -1,0 +1,239 @@
+package txn
+
+import (
+	"fmt"
+	"time"
+
+	"treaty/internal/lsm"
+)
+
+// Txn is a pessimistic transaction: strict two-phase locking (§II-A,
+// §V-B). Reads take shared locks, writes exclusive locks; all locks are
+// held until commit or rollback, which with commit-time WAL ordering
+// gives strict serializability on this node.
+type Txn struct {
+	m      *Manager
+	id     uint64
+	writes *writeBuffer
+	locked []string // acquisition order, for release
+	state  txnState
+	// yield is invoked while waiting (fiber cooperation); may be nil.
+	yield func()
+}
+
+// BeginPessimistic starts a pessimistic transaction. yield may be nil
+// (blocking waits) or a fiber's Yield for cooperative scheduling.
+func (m *Manager) BeginPessimistic(yield func()) *Txn {
+	return &Txn{
+		m:      m,
+		id:     m.nextID.Add(1),
+		writes: newWriteBuffer(m.pool),
+		state:  txnActive,
+		yield:  yield,
+	}
+}
+
+// ID returns the transaction's local id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// ReadOnly reports whether the transaction has buffered no writes.
+func (t *Txn) ReadOnly() bool { return len(t.writes.recs) == 0 }
+
+// SetYield rebinds the cooperative-wait callback. A transaction whose
+// operations arrive on different fibers (the 2PC participant) must bind
+// the *current* fiber's yield before each operation; calling another
+// fiber's Yield corrupts the scheduler.
+func (t *Txn) SetYield(yield func()) { t.yield = yield }
+
+// lock acquires key in mode, remembering it for release.
+func (t *Txn) lock(key string, mode LockMode) error {
+	before := t.m.locks.HeldMode(t.id, key)
+	if err := t.m.locks.Acquire(t.id, key, mode, t.yield); err != nil {
+		return err
+	}
+	if before == 0 {
+		t.locked = append(t.locked, key)
+	}
+	return nil
+}
+
+// Get reads key: buffered writes win (read-my-own-writes); otherwise a
+// shared lock is taken and the latest committed version is read.
+func (t *Txn) Get(key []byte) ([]byte, bool, error) {
+	if t.state != txnActive {
+		return nil, false, ErrTxnDone
+	}
+	ks := string(key)
+	if v, deleted, ok := t.writes.get(ks); ok {
+		if deleted {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	if err := t.lock(ks, LockShared); err != nil {
+		return nil, false, err
+	}
+	v, _, found, err := t.m.db.Get(key, t.m.db.LatestSeq())
+	return v, found, err
+}
+
+// Put buffers a write under an exclusive lock.
+func (t *Txn) Put(key, value []byte) error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	if err := t.lock(string(key), LockExclusive); err != nil {
+		return err
+	}
+	t.writes.put(string(key), value)
+	return nil
+}
+
+// Delete buffers a tombstone under an exclusive lock.
+func (t *Txn) Delete(key []byte) error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	if err := t.lock(string(key), LockExclusive); err != nil {
+		return err
+	}
+	t.writes.del(string(key))
+	return nil
+}
+
+// Commit logs the write set to the WAL (group commit), applies it to the
+// MemTable, optionally waits for stabilization, and releases all locks.
+// "We only reply to a client after the Tx becomes stable, ensuring that
+// upon a crash, clients will not have to re-execute successfully
+// committed transactions" (§V-B).
+func (t *Txn) Commit() error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	defer t.finish(txnCommitted)
+	if len(t.writes.recs) == 0 {
+		return nil // read-only
+	}
+	token, _, err := t.m.db.Apply(t.writes.batch())
+	if err != nil {
+		t.state = txnAborted
+		return fmt.Errorf("txn: commit: %w", err)
+	}
+	if t.m.waitStable {
+		if err := t.waitToken(token); err != nil {
+			return fmt.Errorf("txn: stabilization: %w", err)
+		}
+	}
+	return nil
+}
+
+// waitToken waits for a stable token, yielding if configured. The final
+// Wait is non-blocking once Ready reports true; it surfaces a permanent
+// counter-service failure as an error.
+func (t *Txn) waitToken(token lsm.StableToken) error {
+	if t.yield == nil {
+		return token.Wait()
+	}
+	spins := 0
+	for !token.Ready() {
+		t.yield()
+		if spins++; spins%64 == 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return token.Wait()
+}
+
+// Rollback discards buffered writes and releases locks.
+func (t *Txn) Rollback() error {
+	if t.state != txnActive && t.state != txnPrepared {
+		return ErrTxnDone
+	}
+	t.finish(txnAborted)
+	return nil
+}
+
+// finish releases resources exactly once.
+func (t *Txn) finish(final txnState) {
+	if t.state == txnCommitted || t.state == txnAborted {
+		return
+	}
+	t.state = final
+	t.m.locks.ReleaseAll(t.id, t.locked)
+	t.writes.release()
+	t.locked = nil
+}
+
+// --- Local half of two-phase commit (used by the participant, §V-A) ---
+
+// Prepare durably logs the transaction's write set under the global id
+// and waits until the prepare entry is stabilized: "Participants delay
+// replying back to the coordinator until the prepare entry in the log is
+// stabilized" (§V-A step 8). Locks stay held.
+func (t *Txn) Prepare(global lsm.TxID) error {
+	if t.state != txnActive {
+		return ErrTxnDone
+	}
+	token, err := t.m.db.LogPrepare(global, t.writes.batch())
+	if err != nil {
+		return fmt.Errorf("txn: prepare: %w", err)
+	}
+	if err := t.waitToken(token); err != nil {
+		return fmt.Errorf("txn: prepare stabilization: %w", err)
+	}
+	t.state = txnPrepared
+	return nil
+}
+
+// RestorePrepared rebuilds a prepared transaction found in the WAL at
+// recovery: the write set is replayed into a fresh transaction (re-
+// acquiring its exclusive locks) and the state set directly to prepared —
+// the prepare record already exists durably, so nothing is re-logged.
+func (m *Manager) RestorePrepared(batch *lsm.Batch, yield func()) (*Txn, error) {
+	t := m.BeginPessimistic(yield)
+	err := batch.Each(func(kind lsm.RecordKind, key, value []byte) error {
+		if kind == lsm.KindSet {
+			return t.Put(key, value)
+		}
+		return t.Delete(key)
+	})
+	if err != nil {
+		t.Rollback()
+		return nil, fmt.Errorf("txn: restoring prepared tx: %w", err)
+	}
+	t.state = txnPrepared
+	return t, nil
+}
+
+// CommitPrepared applies a prepared transaction (decision = commit): the
+// write set goes through the normal commit path, the decision is logged,
+// and locks are released. The commit entry need not be stable before
+// acknowledging — after a crash the decision re-derives identically (§V-A).
+func (t *Txn) CommitPrepared(global lsm.TxID) error {
+	if t.state != txnPrepared {
+		return ErrTxnDone
+	}
+	defer t.finish(txnCommitted)
+	if len(t.writes.recs) > 0 {
+		if _, _, err := t.m.db.Apply(t.writes.batch()); err != nil {
+			return fmt.Errorf("txn: commit prepared: %w", err)
+		}
+	}
+	if _, err := t.m.db.LogDecision(global, true); err != nil {
+		return fmt.Errorf("txn: decision log: %w", err)
+	}
+	return nil
+}
+
+// AbortPrepared logs an abort decision for a prepared transaction and
+// releases its locks.
+func (t *Txn) AbortPrepared(global lsm.TxID) error {
+	if t.state != txnPrepared {
+		return ErrTxnDone
+	}
+	defer t.finish(txnAborted)
+	if _, err := t.m.db.LogDecision(global, false); err != nil {
+		return fmt.Errorf("txn: decision log: %w", err)
+	}
+	return nil
+}
