@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race chaos vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./... && $(GO) test ./...
+
+# Race-detector pass over the request-lifecycle and fault-tolerance
+# packages (the chaos soak runs its short script under -race).
+race:
+	$(GO) vet ./... && $(GO) test -race -short ./internal/erpc/... ./internal/twopc/... ./internal/chaos/...
+
+# Full 20-round chaos soak with per-round logging.
+chaos:
+	$(GO) test -v -run TestChaosSoak ./internal/chaos/
+
+vet:
+	$(GO) vet ./...

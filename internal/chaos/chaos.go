@@ -1,0 +1,464 @@
+// Package chaos is an end-to-end fault-injection soak harness for the
+// Treaty cluster: scripted rounds of network adversity (loss, delay,
+// duplication, partitions) and node crash-restarts run against a live
+// cluster while workers execute a bank-transfer workload whose global
+// invariant — the sum of all balances never changes — catches lost or
+// partial writes. After every round the harness forces recovery, waits
+// for the cluster to quiesce, and asserts that no request-lifecycle
+// state leaked: zero pending RPCs, zero active participant transactions,
+// zero undecided coordinator entries.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"treaty/internal/core"
+	"treaty/internal/twopc"
+)
+
+// Config tunes a soak run. The zero value of every field selects a
+// default sized for an in-process 3-node cluster.
+type Config struct {
+	// Nodes is the cluster size (0 = 3).
+	Nodes int
+	// Accounts is the number of bank accounts (0 = 32).
+	Accounts int
+	// InitialBalance funds each account (0 = 1000).
+	InitialBalance int64
+	// Workers is the number of concurrent transfer loops (0 = 4).
+	Workers int
+	// Rounds is the number of fault rounds to run (0 = 20).
+	Rounds int
+	// RoundDuration is how long workers run under each fault (0 = 400ms).
+	RoundDuration time.Duration
+	// TxnTimeout bounds 2PC round-trips (0 = 250ms) — short, so calls
+	// into faulted nodes abort quickly instead of stalling the round.
+	TxnTimeout time.Duration
+	// LockTimeout bounds lock waits (0 = 150ms).
+	LockTimeout time.Duration
+	// IdleTimeout is the participant janitor reclaim age (0 = 1s).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds post-round quiescence (0 = 15s); it must cover
+	// a janitor sweep (IdleTimeout plus a tick).
+	DrainTimeout time.Duration
+	// Mode is the cluster security mode (0 = ModeNativeTreatyEnc: secure
+	// RPC and encrypted storage without TEE overhead or an external
+	// counter service, the fastest full-protocol configuration).
+	Mode core.SecurityMode
+	// Seed makes the run reproducible (0 = 1).
+	Seed int64
+	// Logf receives progress lines (nil = discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	if c.Accounts == 0 {
+		c.Accounts = 32
+	}
+	if c.InitialBalance == 0 {
+		c.InitialBalance = 1000
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 20
+	}
+	if c.RoundDuration == 0 {
+		c.RoundDuration = 400 * time.Millisecond
+	}
+	if c.TxnTimeout == 0 {
+		c.TxnTimeout = 250 * time.Millisecond
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 150 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.Mode == 0 {
+		c.Mode = core.ModeNativeTreatyEnc
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RoundStats summarizes one fault round.
+type RoundStats struct {
+	// Fault names the injected fault.
+	Fault string
+	// Commits and Aborts count worker transaction outcomes.
+	Commits, Aborts uint64
+	// DrainTime is how long quiescence took after the fault lifted.
+	DrainTime time.Duration
+}
+
+// Harness owns the cluster, the fault adversary, and the workload.
+type Harness struct {
+	cfg     Config
+	cluster *core.Cluster
+	adv     *chaosAdversary
+	rng     *rand.Rand
+
+	// nodesMu guards live-node access: workers take the read side to
+	// pick a coordinator; crash/restart take the write side.
+	nodesMu sync.RWMutex
+
+	// committed[i] counts worker i's observed successful commits; the
+	// database's per-worker commit counter must never fall below it.
+	committed []uint64
+	aborted   []uint64
+}
+
+// New boots a cluster and seeds the accounts.
+func New(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	cluster, err := core.NewCluster(core.ClusterOptions{
+		Nodes:       cfg.Nodes,
+		Mode:        cfg.Mode,
+		LockTimeout: cfg.LockTimeout,
+		TxnTimeout:  cfg.TxnTimeout,
+		IdleTimeout: cfg.IdleTimeout,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:       cfg,
+		cluster:   cluster,
+		adv:       newChaosAdversary(cfg.Seed),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		committed: make([]uint64, cfg.Workers),
+		aborted:   make([]uint64, cfg.Workers),
+	}
+	cluster.Net().SetAdversary(h.adv)
+	if err := h.seedAccounts(); err != nil {
+		_ = cluster.Stop()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Close tears the cluster down.
+func (h *Harness) Close() error { return h.cluster.Stop() }
+
+// Cluster exposes the underlying cluster (faults manipulate it).
+func (h *Harness) Cluster() *core.Cluster { return h.cluster }
+
+func accountKey(i int) []byte { return []byte(fmt.Sprintf("chaos/acct/%04d", i)) }
+func workerKey(i int) []byte  { return []byte(fmt.Sprintf("chaos/worker/%d", i)) }
+
+// seedAccounts funds every account in one transaction per shard-friendly
+// batch (a single transaction spanning all accounts is fine on an
+// unfaulted cluster).
+func (h *Harness) seedAccounts() error {
+	for attempt := 0; attempt < 5; attempt++ {
+		txn := h.cluster.Node(0).Begin(nil)
+		ok := true
+		for i := 0; i < h.cfg.Accounts; i++ {
+			if err := txn.Put(accountKey(i), []byte(strconv.FormatInt(h.cfg.InitialBalance, 10))); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := txn.Commit(); err == nil {
+				return nil
+			}
+		} else {
+			_ = txn.Rollback()
+		}
+	}
+	return fmt.Errorf("chaos: seeding accounts failed")
+}
+
+// pickNode returns a live node to coordinate a transaction, or nil when
+// every node is down (the worker then just retries later).
+func (h *Harness) pickNode(r *rand.Rand) *core.Node {
+	h.nodesMu.RLock()
+	defer h.nodesMu.RUnlock()
+	start := r.Intn(h.cluster.Nodes())
+	for k := 0; k < h.cluster.Nodes(); k++ {
+		if n := h.cluster.Node((start + k) % h.cluster.Nodes()); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// crashNode crash-stops node i under the write lock so no worker holds a
+// stale pointer mid-pick.
+func (h *Harness) crashNode(i int) {
+	h.nodesMu.Lock()
+	h.cluster.CrashNode(i)
+	h.nodesMu.Unlock()
+}
+
+// restartNode reboots node i and runs recovery; retried because recovery
+// needs the rest of the cluster responsive.
+func (h *Harness) restartNode(i int) error {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		h.nodesMu.Lock()
+		_, err := h.cluster.RestartNode(i)
+		h.nodesMu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: restarting node %d: %w", i, lastErr)
+}
+
+// transfer runs one bank transfer plus the worker's commit-counter write
+// inside a single distributed transaction.
+func (h *Harness) transfer(worker int, r *rand.Rand) error {
+	n := h.pickNode(r)
+	if n == nil {
+		return fmt.Errorf("chaos: no live node")
+	}
+	from := r.Intn(h.cfg.Accounts)
+	to := r.Intn(h.cfg.Accounts)
+	for to == from {
+		to = r.Intn(h.cfg.Accounts)
+	}
+	amount := int64(1 + r.Intn(10))
+
+	txn := n.Begin(nil)
+	abort := func(err error) error {
+		_ = txn.Rollback()
+		return err
+	}
+	src, err := readBalance(txn, from)
+	if err != nil {
+		return abort(err)
+	}
+	dst, err := readBalance(txn, to)
+	if err != nil {
+		return abort(err)
+	}
+	if err := txn.Put(accountKey(from), []byte(strconv.FormatInt(src-amount, 10))); err != nil {
+		return abort(err)
+	}
+	if err := txn.Put(accountKey(to), []byte(strconv.FormatInt(dst+amount, 10))); err != nil {
+		return abort(err)
+	}
+	// The commit counter rides in the same transaction: if the commit is
+	// durable, this write must be durable too (the "no committed write
+	// lost" probe).
+	next := h.committed[worker] + 1
+	if err := txn.Put(workerKey(worker), []byte(strconv.FormatUint(next, 10))); err != nil {
+		return abort(err)
+	}
+	return txn.Commit()
+}
+
+func readBalance(txn *twopc.DistTxn, acct int) (int64, error) {
+	v, found, err := txn.Get(accountKey(acct))
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("chaos: account %d missing", acct)
+	}
+	return strconv.ParseInt(string(v), 10, 64)
+}
+
+// runTraffic runs the worker pool for d, returning aggregate outcomes.
+func (h *Harness) runTraffic(d time.Duration) (commits, aborts uint64) {
+	var wg sync.WaitGroup
+	stop := time.Now().Add(d)
+	results := make([]struct{ c, a uint64 }, h.cfg.Workers)
+	for w := 0; w < h.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(h.cfg.Seed + int64(w)*7919 + int64(h.committed[w])))
+			for time.Now().Before(stop) {
+				if err := h.transfer(w, r); err != nil {
+					h.aborted[w]++
+					results[w].a++
+					continue
+				}
+				h.committed[w]++
+				results[w].c++
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, r := range results {
+		commits += r.c
+		aborts += r.a
+	}
+	return commits, aborts
+}
+
+// recoverAll re-drives coordinator recovery and participant resolution on
+// every live node; errors are tolerated (the drain loop retries).
+func (h *Harness) recoverAll() {
+	h.nodesMu.RLock()
+	live := make([]*core.Node, 0, h.cluster.Nodes())
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		if n := h.cluster.Node(i); n != nil {
+			live = append(live, n)
+		}
+	}
+	h.nodesMu.RUnlock()
+	for _, n := range live {
+		if err := n.Recover(); err != nil {
+			h.cfg.Logf("chaos: recover node %d: %v", n.ID(), err)
+		}
+	}
+}
+
+// leaks reports request-lifecycle state that should be empty at
+// quiescence, or "" when everything drained.
+func (h *Harness) leaks() string {
+	h.nodesMu.RLock()
+	defer h.nodesMu.RUnlock()
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		n := h.cluster.Node(i)
+		if n == nil {
+			return fmt.Sprintf("node %d still down", i)
+		}
+		if p := n.Endpoint().PendingCount(); p != 0 {
+			return fmt.Sprintf("node %d: %d pending RPCs", i, p)
+		}
+		if a := n.Participant().ActiveCount(); a != 0 {
+			return fmt.Sprintf("node %d: %d active participant txns", i, a)
+		}
+		if pr := n.Coordinator().PreparedCount(); pr != 0 {
+			return fmt.Sprintf("node %d: %d undecided coordinator txns", i, pr)
+		}
+	}
+	return ""
+}
+
+// drain forces recovery until the cluster quiesces: no pending RPCs, no
+// active participant transactions (the janitor reclaims abandoned ones),
+// no undecided coordinator entries.
+func (h *Harness) drain() (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(h.cfg.DrainTimeout)
+	h.recoverAll()
+	for {
+		why := h.leaks()
+		if why == "" {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return time.Since(start), fmt.Errorf("chaos: cluster did not quiesce: %s", why)
+		}
+		time.Sleep(100 * time.Millisecond)
+		h.recoverAll()
+	}
+}
+
+// verify checks the global invariants on a quiesced cluster: the balance
+// sum is conserved, and no worker's observed commit was lost.
+func (h *Harness) verify() error {
+	var txn *twopc.DistTxn
+	var sum int64
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		txn = h.cluster.Node(0).Begin(nil)
+		sum = 0
+		ok := true
+		for i := 0; i < h.cfg.Accounts; i++ {
+			bal, err := readBalance(txn, i)
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			sum += bal
+		}
+		if !ok {
+			_ = txn.Rollback()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+
+		counters := make([]uint64, h.cfg.Workers)
+		for w := 0; w < h.cfg.Workers; w++ {
+			v, found, err := txn.Get(workerKey(w))
+			if err != nil {
+				lastErr = err
+				ok = false
+				break
+			}
+			if found {
+				counters[w], _ = strconv.ParseUint(string(v), 10, 64)
+			}
+		}
+		if !ok {
+			_ = txn.Rollback()
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if err := txn.Commit(); err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+
+		if want := int64(h.cfg.Accounts) * h.cfg.InitialBalance; sum != want {
+			return fmt.Errorf("chaos: balance invariant violated: sum=%d want=%d", sum, want)
+		}
+		for w := 0; w < h.cfg.Workers; w++ {
+			// The database may be AHEAD of the worker (a commit the worker
+			// saw as failed can still land via recovery) but never behind:
+			// behind means a committed write was lost.
+			if counters[w] < h.committed[w] {
+				return fmt.Errorf("chaos: lost committed write: worker %d counter=%d observed commits=%d",
+					w, counters[w], h.committed[w])
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("chaos: verification transaction kept aborting: %w", lastErr)
+}
+
+// Run executes the scripted soak: for each fault, inject, run traffic,
+// lift, drain, verify. It returns per-round stats and the first fatal
+// invariant violation.
+func (h *Harness) Run(script []Fault) ([]RoundStats, error) {
+	stats := make([]RoundStats, 0, len(script))
+	for round, fault := range script {
+		h.cfg.Logf("chaos: round %d/%d: %s", round+1, len(script), fault.Name())
+		fault.Inject(h)
+		commits, aborts := h.runTraffic(h.cfg.RoundDuration)
+		if err := fault.Lift(h); err != nil {
+			return stats, fmt.Errorf("chaos: round %d (%s): lifting fault: %w", round+1, fault.Name(), err)
+		}
+		drainTime, err := h.drain()
+		if err != nil {
+			return stats, fmt.Errorf("chaos: round %d (%s): %w", round+1, fault.Name(), err)
+		}
+		if err := h.verify(); err != nil {
+			return stats, fmt.Errorf("chaos: round %d (%s): %w", round+1, fault.Name(), err)
+		}
+		rs := RoundStats{Fault: fault.Name(), Commits: commits, Aborts: aborts, DrainTime: drainTime}
+		stats = append(stats, rs)
+		h.cfg.Logf("chaos: round %d/%d: %s: %d commits, %d aborts, drained in %v",
+			round+1, len(script), fault.Name(), commits, aborts, drainTime)
+	}
+	return stats, nil
+}

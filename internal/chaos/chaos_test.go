@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosSoak runs the scripted fault soak against a live 3-node
+// cluster: every round injects one fault (30% loss, a partition, a
+// coordinator or participant crash-restart, delay+duplication), runs the
+// bank-transfer workload, lifts the fault, forces recovery, and asserts
+// quiescence plus the balance and durability invariants. Short mode runs
+// one full cycle of the fault mix.
+func TestChaosSoak(t *testing.T) {
+	rounds := 20
+	if testing.Short() {
+		rounds = 5
+	}
+	h, err := New(Config{
+		Rounds: rounds,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	defer func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	stats, err := h.Run(DefaultScript(rounds, h.Cluster().Nodes()))
+	if err != nil {
+		t.Fatalf("soak failed after %d clean rounds: %v", len(stats), err)
+	}
+	var commits uint64
+	for _, rs := range stats {
+		commits += rs.Commits
+	}
+	if commits == 0 {
+		t.Fatalf("workload never committed — the soak exercised nothing")
+	}
+	t.Logf("soak: %d rounds, %d total commits", len(stats), commits)
+}
+
+// TestDefaultScript checks script construction edge cases.
+func TestDefaultScript(t *testing.T) {
+	if got := len(DefaultScript(7, 3)); got != 7 {
+		t.Fatalf("script length = %d, want 7", got)
+	}
+	if got := len(DefaultScript(0, 3)); got != 0 {
+		t.Fatalf("script length = %d, want 0", got)
+	}
+}

@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"treaty/internal/simnet"
+)
+
+// chaosAdversary is a simnet adversary whose knobs (loss probability,
+// added delay, duplication) flip per round. All methods are safe for
+// concurrent use: the network delivers packets from many goroutines
+// while faults reconfigure it.
+type chaosAdversary struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	loss  float64
+	delay time.Duration
+	dup   int
+}
+
+func newChaosAdversary(seed int64) *chaosAdversary {
+	return &chaosAdversary{rng: rand.New(rand.NewSource(seed ^ 0x5eed))}
+}
+
+// set reconfigures the knobs atomically.
+func (a *chaosAdversary) set(loss float64, delay time.Duration, dup int) {
+	a.mu.Lock()
+	a.loss, a.delay, a.dup = loss, delay, dup
+	a.mu.Unlock()
+}
+
+// reset returns the network to clean behaviour.
+func (a *chaosAdversary) reset() { a.set(0, 0, 0) }
+
+// Interpose implements simnet.Adversary.
+func (a *chaosAdversary) Interpose(simnet.Packet) simnet.Verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := simnet.Verdict{Delay: a.delay}
+	if a.loss > 0 && a.rng.Float64() < a.loss {
+		v.Drop = true
+		return v
+	}
+	if a.dup > 0 {
+		v.Duplicates = a.dup
+	}
+	return v
+}
+
+// Fault is one scripted adversity: Inject starts it before the round's
+// traffic, Lift removes it (and repairs anything it broke) afterwards.
+type Fault interface {
+	Name() string
+	Inject(h *Harness)
+	Lift(h *Harness) error
+}
+
+// lossFault drops a fraction of all packets.
+type lossFault struct{ rate float64 }
+
+func (f lossFault) Name() string      { return fmt.Sprintf("loss-%d%%", int(f.rate*100)) }
+func (f lossFault) Inject(h *Harness) { h.adv.set(f.rate, 0, 0) }
+func (f lossFault) Lift(h *Harness) error {
+	h.adv.reset()
+	return nil
+}
+
+// delayDupFault adds latency, duplicates packets (replay pressure on the
+// sealed channel's replay cache), and sprinkles light loss.
+type delayDupFault struct{}
+
+func (delayDupFault) Name() string      { return "delay+dup" }
+func (delayDupFault) Inject(h *Harness) { h.adv.set(0.05, 2*time.Millisecond, 1) }
+func (delayDupFault) Lift(h *Harness) error {
+	h.adv.reset()
+	return nil
+}
+
+// partitionFault isolates one node from the rest of the cluster for the
+// round; transactions it coordinates and writes to its shard abort.
+type partitionFault struct{ node int }
+
+func (f partitionFault) Name() string { return fmt.Sprintf("partition-node-%d", f.node) }
+
+func (f partitionFault) Inject(h *Harness) {
+	addr := h.cluster.NodeAddr(f.node)
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		if i != f.node {
+			h.cluster.Net().Partition(addr, h.cluster.NodeAddr(i))
+		}
+	}
+}
+
+func (f partitionFault) Lift(h *Harness) error {
+	addr := h.cluster.NodeAddr(f.node)
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		if i != f.node {
+			h.cluster.Net().Heal(addr, h.cluster.NodeAddr(i))
+		}
+	}
+	return nil
+}
+
+// crashRestartFault crash-stops a node mid-round and restarts it (with
+// recovery) when the fault lifts. The node is partitioned away first and
+// its in-flight work allowed to time out, emulating the crash-fail model
+// without letting a half-dead process race its own successor.
+type crashRestartFault struct {
+	node int
+	// role is a label only — every node runs both a coordinator and a
+	// participant; scripts alternate the label to document intent.
+	role string
+}
+
+func (f crashRestartFault) Name() string {
+	return fmt.Sprintf("crash-%s-node-%d", f.role, f.node)
+}
+
+func (f crashRestartFault) Inject(h *Harness) {
+	// Isolate, let in-flight calls involving the node expire, then kill.
+	part := partitionFault{node: f.node}
+	part.Inject(h)
+	settle := h.cfg.TxnTimeout
+	if h.cfg.LockTimeout > settle {
+		settle = h.cfg.LockTimeout
+	}
+	time.Sleep(settle + 50*time.Millisecond)
+	h.crashNode(f.node)
+	_ = part.Lift(h)
+}
+
+func (f crashRestartFault) Lift(h *Harness) error {
+	return h.restartNode(f.node)
+}
+
+// DefaultScript builds a soak script of the canonical round mix: packet
+// loss, a partition, a coordinator crash-restart, a participant
+// crash-restart, and delay+duplication — cycled for rounds rounds across
+// the cluster's nodes.
+func DefaultScript(rounds, nodes int) []Fault {
+	if nodes < 2 {
+		nodes = 2
+	}
+	script := make([]Fault, 0, rounds)
+	for i := 0; len(script) < rounds; i++ {
+		cycle := []Fault{
+			lossFault{rate: 0.30},
+			partitionFault{node: i % nodes},
+			crashRestartFault{node: i % nodes, role: "coordinator"},
+			crashRestartFault{node: (i + 1) % nodes, role: "participant"},
+			delayDupFault{},
+		}
+		for _, f := range cycle {
+			if len(script) == rounds {
+				break
+			}
+			script = append(script, f)
+		}
+	}
+	return script
+}

@@ -30,6 +30,11 @@ type ClusterOptions struct {
 	Workers int
 	// LockTimeout bounds lock waits.
 	LockTimeout time.Duration
+	// TxnTimeout bounds 2PC round-trips and decision stabilization.
+	TxnTimeout time.Duration
+	// IdleTimeout reclaims participant transactions abandoned by dead
+	// coordinators.
+	IdleTimeout time.Duration
 	// MemTableSize overrides the flush threshold.
 	MemTableSize int64
 	// DisableGroupCommit is the group-commit ablation.
@@ -167,6 +172,8 @@ func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
 		CAS:                c.cas,
 		Workers:            c.opts.Workers,
 		LockTimeout:        c.opts.LockTimeout,
+		TxnTimeout:         c.opts.TxnTimeout,
+		IdleTimeout:        c.opts.IdleTimeout,
 		MemTableSize:       c.opts.MemTableSize,
 		DisableGroupCommit: c.opts.DisableGroupCommit,
 		LockShards:         c.opts.LockShards,
@@ -213,6 +220,10 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// NodeAddr returns node i's RPC address — valid even while the node is
+// crashed (it comes from the boot configuration, not the live node).
+func (c *Cluster) NodeAddr(i int) string { return c.nodeCfg[i].Addr }
 
 // Net returns the network substrate (adversary injection, partitions).
 func (c *Cluster) Net() *simnet.Network { return c.net }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"time"
 
 	"treaty/internal/attest"
@@ -52,6 +54,12 @@ type NodeConfig struct {
 	Workers int
 	// LockTimeout bounds lock waits (0 = 1s).
 	LockTimeout time.Duration
+	// TxnTimeout bounds 2PC round-trips and decision stabilization
+	// (0 = coordinator default).
+	TxnTimeout time.Duration
+	// IdleTimeout reclaims participant transactions abandoned by dead
+	// coordinators (0 = participant default).
+	IdleTimeout time.Duration
 	// MemTableSize overrides the flush threshold (0 = engine default).
 	MemTableSize int64
 	// DisableGroupCommit is the group-commit ablation.
@@ -166,9 +174,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	// 2PC participant + coordinator.
 	n.part = twopc.NewParticipant(twopc.ParticipantConfig{
-		Manager:   n.mgr,
-		Endpoint:  n.ep,
-		Scheduler: n.sched,
+		Manager:     n.mgr,
+		Endpoint:    n.ep,
+		Scheduler:   n.sched,
+		IdleTimeout: cfg.IdleTimeout,
 	})
 	clogCtr := counters("CLOG-000001")
 	maxStable := int64(-1)
@@ -188,6 +197,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Clog:      clog,
 		Router:    n.router,
 		Recovered: recovered,
+		Timeout:   cfg.TxnTimeout,
 	})
 
 	// Re-initialize prepared transactions found during recovery; they
@@ -205,13 +215,26 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 // buildCounters wires the trusted counter factory for the node's mode.
 func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFactory, error) {
 	if !n.cfg.Mode.UsesCounterService() || len(clusterCfg.CounterReplicas) == 0 {
-		immediate := make(map[string]lsm.TrustedCounter)
+		// Instant-stability counters, persisted in the node directory: a
+		// purely in-memory counter resets to zero on reboot, and at secure
+		// storage levels recovery would then discard the entire WAL as an
+		// unstabilized tail — losing acknowledged commits.
+		ctrDir := filepath.Join(n.cfg.Dir, "counters")
+		if err := os.MkdirAll(ctrDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: counter dir: %w", err)
+		}
+		cache := make(map[string]lsm.TrustedCounter)
 		return func(name string) lsm.TrustedCounter {
-			if c, ok := immediate[name]; ok {
+			if c, ok := cache[name]; ok {
 				return c
 			}
-			c := lsm.NewImmediateCounter()
-			immediate[name] = c
+			c, err := lsm.NewFileCounter(filepath.Join(ctrDir, name))
+			if err != nil {
+				// Unreadable state: fall back to a volatile counter rather
+				// than refuse to boot (plain-level modes never check it).
+				c = lsm.NewImmediateCounter()
+			}
+			cache[name] = c
 			return c
 		}, nil
 	}
@@ -343,8 +366,17 @@ func (n *Node) Stop() error {
 
 // Crash kills the node without any graceful shutdown: in-memory state is
 // lost, only synced files survive (the crash-fail model, §III).
+//
+// Ordering matters for a faithful crash: stop ingesting requests first
+// (poller), silence the participant's janitor without rolling anything
+// back (Abandon — rollback would be graceful shutdown, not a crash),
+// then stop the scheduler so mid-yield fibers freeze permanently instead
+// of mutating files a restarted instance now owns, and finally release
+// the network addresses.
 func (n *Node) Crash() {
 	n.poller.Stop()
+	n.part.Abandon()
+	n.sched.Stop()
 	if n.ctrPoll != nil {
 		n.ctrPoll.Stop()
 	}
@@ -355,7 +387,7 @@ func (n *Node) Crash() {
 	if n.ctrEP != nil {
 		_ = n.ctrEP.Close()
 	}
-	// The DB, scheduler, and participant are abandoned, not closed.
+	// The DB and in-flight transactions are abandoned, not closed.
 }
 
 // DB exposes the storage engine (benchmarks, tests).
@@ -375,3 +407,9 @@ func (n *Node) ID() uint64 { return n.cfg.ID }
 
 // Endpoint exposes the RPC endpoint (tests).
 func (n *Node) Endpoint() *erpc.Endpoint { return n.ep }
+
+// Participant exposes the 2PC participant (leak checks, tests).
+func (n *Node) Participant() *twopc.Participant { return n.part }
+
+// Coordinator exposes the 2PC coordinator (leak checks, tests).
+func (n *Node) Coordinator() *twopc.Coordinator { return n.coord }

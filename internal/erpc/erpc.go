@@ -179,6 +179,7 @@ type Endpoint struct {
 
 	// stats
 	sent, received, replayDropped, authDropped, staleResponses atomic.Uint64
+	cancelled, txDropped, handlerPanics                        atomic.Uint64
 }
 
 // outMsg is one enqueued wire message.
@@ -233,16 +234,52 @@ func (ep *Endpoint) NodeID() uint64 { return ep.cfg.NodeID }
 // arrives.
 func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, payload []byte, onDone func(*Pending)) *Pending {
 	reqID := ep.nextReqID.Add(1)
+	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{})}
+	if ep.closed.Load() {
+		// A closed endpoint can never deliver a response; fail the call
+		// immediately instead of parking it until the caller's timeout.
+		p.complete(nil, ErrClosed)
+		return p
+	}
 	md.NodeID = ep.cfg.NodeID
 	md.Seq = reqID
 	wire := ep.encode(reqType, 0, reqID, &md, payload)
-	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{})}
 	ep.mu.Lock()
 	ep.pending[reqID] = p
 	ep.txq = append(ep.txq, outMsg{to: to, wire: wire})
 	ep.mu.Unlock()
 	ep.wakeTx()
 	return p
+}
+
+// Abandon cancels an outstanding request whose caller gave up (timeout):
+// the pending entry is deregistered — so a response arriving later is
+// counted as stale instead of delivered — and the Pending completes with
+// ErrTimeout. It reports false if the request already completed (the
+// response won the race), in which case the Pending's result is valid.
+func (ep *Endpoint) Abandon(p *Pending) bool {
+	ep.mu.Lock()
+	cur, ok := ep.pending[p.reqID]
+	if ok && cur == p {
+		delete(ep.pending, p.reqID)
+	} else {
+		ok = false
+	}
+	ep.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ep.cancelled.Add(1)
+	p.complete(nil, ErrTimeout)
+	return true
+}
+
+// PendingCount reports the number of outstanding requests (used by the
+// chaos harness to assert the pending map does not leak).
+func (ep *Endpoint) PendingCount() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.pending)
 }
 
 // wakeTx signals the event loop that the transmit queue has work.
@@ -273,17 +310,27 @@ func (ep *Endpoint) enqueueWire(to string, wire []byte) {
 	ep.wakeTx()
 }
 
-// TxBurst flushes the transmit queue to the transport.
+// TxBurst flushes the transmit queue to the transport. A send failure
+// drops only that message: the rest of the already-dequeued batch is
+// still transmitted (one unreachable peer must not discard traffic to
+// every other destination), failures are aggregated into the returned
+// error, and each drop is counted in Stats.TxDropped.
 func (ep *Endpoint) TxBurst() error {
 	ep.mu.Lock()
 	batch := ep.txq
 	ep.txq = nil
 	ep.mu.Unlock()
+	var errs []error
 	for _, m := range batch {
 		if err := ep.cfg.Transport.Send(m.to, m.wire); err != nil {
-			return fmt.Errorf("erpc: tx burst: %w", err)
+			ep.txDropped.Add(1)
+			errs = append(errs, err)
+			continue
 		}
 		ep.sent.Add(1)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("erpc: tx burst: %w", errors.Join(errs...))
 	}
 	return nil
 }
@@ -311,10 +358,19 @@ func (ep *Endpoint) RunOnce() int {
 	return n
 }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down. Outstanding requests complete with
+// ErrClosed so blocked callers unwind immediately instead of waiting out
+// their timeouts (and nothing leaks in the pending map).
 func (ep *Endpoint) Close() error {
 	if ep.closed.Swap(true) {
 		return nil
+	}
+	ep.mu.Lock()
+	orphans := ep.pending
+	ep.pending = make(map[uint64]*Pending)
+	ep.mu.Unlock()
+	for _, p := range orphans {
+		p.complete(nil, ErrClosed)
 	}
 	return ep.cfg.Transport.Close()
 }
@@ -439,6 +495,20 @@ func (ep *Endpoint) dispatch(from string, wire []byte) {
 		reqType: reqType,
 		reqID:   reqID,
 	}
+	ep.invoke(h, req)
+}
+
+// invoke runs a handler with panic containment: a panicking handler must
+// not kill the node's only poller goroutine. The panic is converted into
+// an error reply (exactly-once reply semantics drop it if the handler
+// already replied before panicking) and counted in Stats.HandlerPanics.
+func (ep *Endpoint) invoke(h Handler, req *Request) {
+	defer func() {
+		if r := recover(); r != nil {
+			ep.handlerPanics.Add(1)
+			req.ReplyError(fmt.Sprintf("erpc: handler panic: %v", r))
+		}
+	}()
 	h(req)
 }
 
@@ -460,6 +530,13 @@ type Stats struct {
 	AuthDropped uint64
 	// StaleResponses counts responses with no matching pending request.
 	StaleResponses uint64
+	// Cancelled counts pending requests abandoned by their callers
+	// (timeouts); their late responses show up as StaleResponses.
+	Cancelled uint64
+	// TxDropped counts enqueued messages the transport failed to send.
+	TxDropped uint64
+	// HandlerPanics counts handler panics contained by the dispatcher.
+	HandlerPanics uint64
 }
 
 // Stats returns a snapshot of the endpoint counters.
@@ -470,5 +547,8 @@ func (ep *Endpoint) Stats() Stats {
 		ReplayDropped:  ep.replayDropped.Load(),
 		AuthDropped:    ep.authDropped.Load(),
 		StaleResponses: ep.staleResponses.Load(),
+		Cancelled:      ep.cancelled.Load(),
+		TxDropped:      ep.txDropped.Load(),
+		HandlerPanics:  ep.handlerPanics.Load(),
 	}
 }

@@ -87,20 +87,36 @@ var ErrTimeout = fmt.Errorf("erpc: request timed out")
 // yields between polls, pausing briefly every so often so tight yield
 // loops do not monopolize low-core machines. The endpoint's event loop
 // must be running (Poller or an external RunOnce driver).
+//
+// A timed-out call is abandoned: its pending entry is deregistered so
+// the map cannot grow without bound, and a response that arrives later
+// is counted as stale rather than delivered.
 func Call(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payload []byte, timeout time.Duration, yield func()) ([]byte, error) {
 	pend := ep.Enqueue(to, reqType, md, payload, nil)
 	if yield == nil {
 		select {
 		case <-pend.Ch():
 		case <-time.After(timeout):
-			return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+			if ep.Abandon(pend) {
+				return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+			}
+			// Lost the race: the response completed the request while we
+			// were timing out — wait out the (imminent) completion and
+			// deliver it.
+			<-pend.Ch()
 		}
 	} else {
 		deadline := time.Now().Add(timeout)
 		spins := 0
 		for !pend.Done() {
 			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+				if ep.Abandon(pend) {
+					return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
+				}
+				// Response arrived during the final poll; wait out the
+				// (imminent) completion and deliver it.
+				<-pend.Ch()
+				break
 			}
 			yield()
 			if spins++; spins%64 == 0 {

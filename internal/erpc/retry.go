@@ -1,0 +1,86 @@
+package erpc
+
+import (
+	"errors"
+	"time"
+
+	"treaty/internal/seal"
+)
+
+// RetryPolicy bounds retransmission of idempotent requests with
+// exponential backoff. The zero value selects the defaults.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (0 = 4).
+	Attempts int
+	// Base is the backoff before the second attempt (0 = 25ms).
+	Base time.Duration
+	// Max caps the backoff growth (0 = 400ms).
+	Max time.Duration
+}
+
+// withDefaults fills in zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 400 * time.Millisecond
+	}
+	return p
+}
+
+// CallRetry issues Call up to policy.Attempts times, backing off
+// exponentially between attempts. It must only be used for idempotent
+// requests (2PC status queries, commit/abort decision pushes): a request
+// that timed out may still have executed remotely.
+//
+// nextOp, when non-nil, supplies a fresh operation id for each attempt.
+// Retries need fresh ids because the receiver's replay cache answers a
+// repeated (node, tx, op) tuple with the cached wire reply, which carries
+// the original request id — an id the sender deregistered when the first
+// attempt timed out, so that reply would land as stale.
+//
+// Only timeouts are retried: a remote error is a definitive answer and
+// ErrClosed means the local endpoint is gone.
+func CallRetry(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payload []byte, timeout time.Duration, yield func(), policy RetryPolicy, nextOp func() uint64) ([]byte, error) {
+	policy = policy.withDefaults()
+	backoff := policy.Base
+	var lastErr error
+	for try := 0; try < policy.Attempts; try++ {
+		if try > 0 {
+			SleepYield(backoff, yield)
+			if backoff *= 2; backoff > policy.Max {
+				backoff = policy.Max
+			}
+		}
+		if nextOp != nil {
+			md.OpID = nextOp()
+		}
+		resp, err := Call(ep, to, reqType, md, payload, timeout, yield)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// SleepYield waits d, cooperating with a fiber yield when one is
+// provided (a plain time.Sleep would park the fiber's worker thread).
+func SleepYield(d time.Duration, yield func()) {
+	if yield == nil {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		yield()
+		time.Sleep(time.Millisecond)
+	}
+}

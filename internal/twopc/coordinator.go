@@ -22,6 +22,10 @@ var (
 	ErrAborted = errors.New("twopc: transaction aborted")
 	// ErrTxnFinished indicates use of a finished distributed transaction.
 	ErrTxnFinished = errors.New("twopc: transaction already finished")
+	// ErrStabilizeTimeout indicates the trusted counter service did not
+	// stabilize a decision within the deadline; the transaction aborts
+	// instead of spinning its fiber forever on a dead counter service.
+	ErrStabilizeTimeout = errors.New("twopc: decision stabilization timed out")
 )
 
 // Router maps a user key to the RPC address of the node owning its shard.
@@ -30,11 +34,12 @@ type Router func(key []byte) string
 // Coordinator drives distributed transactions from one node (the TxC).
 // Every node runs one; clients pick any node as their coordinator.
 type Coordinator struct {
-	nodeID  uint64
-	ep      *erpc.Endpoint
-	clog    *Clog
-	router  Router
-	timeout time.Duration
+	nodeID      uint64
+	ep          *erpc.Endpoint
+	clog        *Clog
+	router      Router
+	timeout     time.Duration
+	stabTimeout time.Duration
 
 	nextTx atomic.Uint64
 	nextOp atomic.Uint64
@@ -62,6 +67,10 @@ type CoordinatorConfig struct {
 	Router Router
 	// Timeout bounds each remote operation (0 = 2s).
 	Timeout time.Duration
+	// StabilizeTimeout bounds the wait for a decision's rollback
+	// protection (0 = 4 × Timeout). A dead counter service then aborts
+	// the transaction instead of hanging it.
+	StabilizeTimeout time.Duration
 	// Recovered seeds protocol state from Clog replay (may be nil).
 	Recovered []ClogEntry
 }
@@ -80,6 +89,10 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	}
 	if c.timeout == 0 {
 		c.timeout = 2 * time.Second
+	}
+	c.stabTimeout = cfg.StabilizeTimeout
+	if c.stabTimeout == 0 {
+		c.stabTimeout = 4 * c.timeout
 	}
 	// Operation ids start at a per-boot random offset so a recovered
 	// coordinator's retry messages never collide with pre-crash tuples
@@ -216,10 +229,18 @@ func (t *DistTxn) Delete(key []byte) error {
 	return err
 }
 
+// bcastResult is one participant's outcome in a broadcast.
+type bcastResult struct {
+	resp []byte
+	err  error
+}
+
 // broadcast sends reqType to every participant in parallel (enqueue all,
 // then poll) and waits for all replies; it returns the per-participant
-// response payloads and the first error.
-func (t *DistTxn) broadcast(reqType uint8, participants []string) ([][]byte, error) {
+// results and the first error. Participants that do not answer within
+// the timeout are abandoned — their pending entries are deregistered so
+// the endpoint's pending map cannot grow across lost messages.
+func (t *DistTxn) broadcast(reqType uint8, participants []string) ([]bcastResult, error) {
 	pendings := make([]*erpc.Pending, len(participants))
 	for i, addr := range participants {
 		md := seal.MsgMetadata{
@@ -230,7 +251,7 @@ func (t *DistTxn) broadcast(reqType uint8, participants []string) ([][]byte, err
 		pendings[i] = t.c.ep.Enqueue(addr, reqType, md, nil, nil)
 	}
 	deadline := time.Now().Add(t.c.timeout)
-	responses := make([][]byte, len(pendings))
+	results := make([]bcastResult, len(pendings))
 	var firstErr error
 	spins := 0
 	for i, p := range pendings {
@@ -248,17 +269,56 @@ func (t *DistTxn) broadcast(reqType uint8, participants []string) ([][]byte, err
 			}
 		}
 		if !p.Done() {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%w: %s", erpc.ErrTimeout, "2pc broadcast")
+			if t.c.ep.Abandon(p) {
+				results[i].err = fmt.Errorf("%w: %s", erpc.ErrTimeout, "2pc broadcast")
+				if firstErr == nil {
+					firstErr = results[i].err
+				}
+				continue
 			}
-			continue
+			// The response won the race against the deadline; wait out
+			// the (imminent) completion and use it.
+			<-p.Ch()
 		}
+		results[i] = bcastResult{resp: p.Response(), err: p.Err()}
 		if p.Err() != nil && firstErr == nil {
 			firstErr = p.Err()
 		}
-		responses[i] = p.Response()
 	}
-	return responses, firstErr
+	return results, firstErr
+}
+
+// broadcastRetry re-sends an idempotent control message (commit/abort
+// decision push) to the participants that did not answer, with bounded
+// exponential backoff. A lost decision push is always safe — recovery
+// re-derives it — but re-pushing promptly releases prepared participants
+// without waiting for a restart. It returns the last timeout error if
+// some participant never answered.
+func (t *DistTxn) broadcastRetry(reqType uint8, participants []string, attempts int) error {
+	remaining := append([]string(nil), participants...)
+	backoff := 25 * time.Millisecond
+	var lastErr error
+	for try := 0; try < attempts && len(remaining) > 0; try++ {
+		if try > 0 {
+			erpc.SleepYield(backoff, t.yield)
+			if backoff *= 2; backoff > 400*time.Millisecond {
+				backoff = 400 * time.Millisecond
+			}
+		}
+		results, _ := t.broadcast(reqType, remaining)
+		var unanswered []string
+		for i, r := range results {
+			if r.err != nil && errors.Is(r.err, erpc.ErrTimeout) {
+				unanswered = append(unanswered, remaining[i])
+				lastErr = r.err
+			}
+		}
+		remaining = unanswered
+	}
+	if len(remaining) > 0 {
+		return lastErr
+	}
+	return nil
 }
 
 // participants returns the involved addresses, sorted (determinism).
@@ -311,7 +371,7 @@ func (t *DistTxn) Commit() error {
 	// need the decision (the read-only 2PC optimization).
 	writers := make([]string, 0, len(participants))
 	for i, addr := range participants {
-		if len(votes[i]) == 0 || votes[i][0] != voteReadOnly {
+		if len(votes[i].resp) == 0 || votes[i].resp[0] != voteReadOnly {
 			writers = append(writers, addr)
 		}
 	}
@@ -342,19 +402,27 @@ func (t *DistTxn) Commit() error {
 
 	// The decision is stable: the transaction IS committed even if a
 	// commit message is lost; such a participant resolves at recovery.
-	_, _ = t.broadcast(ReqCommit, writers)
+	// Retrying lost pushes here just releases participant locks sooner.
+	_ = t.broadcastRetry(ReqCommit, writers, 3)
 	return nil
 }
 
-// waitToken waits for a stable token, yielding if configured. The final
-// Wait is non-blocking once Ready reports true; it surfaces a permanent
+// waitToken waits for a stable token, yielding if configured, up to the
+// coordinator's stabilization deadline — a dead counter service must
+// abort the transaction, not spin the fiber forever. The final Wait is
+// non-blocking once Ready reports true; it surfaces a permanent
 // counter-service failure as an error.
 func (t *DistTxn) waitToken(token lsm.StableToken) error {
-	if t.yield == nil {
-		return token.Wait()
-	}
+	deadline := time.Now().Add(t.c.stabTimeout)
 	spins := 0
 	for !token.Ready() {
+		if time.Now().After(deadline) {
+			return ErrStabilizeTimeout
+		}
+		if t.yield == nil {
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
 		t.yield()
 		if spins++; spins%64 == 0 {
 			time.Sleep(20 * time.Microsecond)
@@ -433,14 +501,14 @@ func (c *Coordinator) RecoverPending(yield func()) error {
 			c.decisions[w.id] = true
 			delete(c.prepared, w.id)
 			c.mu.Unlock()
-			_, _ = t.broadcast(ReqCommit, w.parts)
+			_ = t.broadcastRetry(ReqCommit, w.parts, 4)
 		case w.commit:
 			// Re-push commits for decided transactions; participants that
 			// already committed ignore the message.
-			_, _ = t.broadcast(ReqCommit, w.parts)
+			_ = t.broadcastRetry(ReqCommit, w.parts, 4)
 		default:
 			// Decided abort: re-push aborts (also idempotent).
-			_, _ = t.broadcast(ReqAbort, w.parts)
+			_ = t.broadcastRetry(ReqAbort, w.parts, 4)
 		}
 	}
 	return nil
@@ -452,4 +520,12 @@ func (c *Coordinator) Decision(id lsm.TxID) (commit, decided bool) {
 	defer c.mu.Unlock()
 	commit, decided = c.decisions[id]
 	return
+}
+
+// PreparedCount reports prepare-logged transactions still awaiting a
+// decision (the chaos harness asserts this drains to zero at quiesce).
+func (c *Coordinator) PreparedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.prepared)
 }

@@ -30,11 +30,17 @@ type Participant struct {
 
 	mu     sync.Mutex
 	active map[lsm.TxID]*activeTxn
+	// reclaimed tombstones janitor-aborted transaction ids: a late
+	// operation for a reclaimed id must NOT silently start a fresh local
+	// transaction (a later prepare would commit a partial write set) —
+	// it errors, and the eventual prepare votes no.
+	reclaimed map[lsm.TxID]time.Time
 
 	// idleTimeout reclaims transactions abandoned by dead coordinators.
 	idleTimeout time.Duration
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
+	stopOnce    sync.Once
 }
 
 // activeTxn is one in-flight local transaction.
@@ -65,6 +71,7 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 		ep:          cfg.Endpoint,
 		sched:       cfg.Scheduler,
 		active:      make(map[lsm.TxID]*activeTxn),
+		reclaimed:   make(map[lsm.TxID]time.Time),
 		idleTimeout: cfg.IdleTimeout,
 		janitorStop: make(chan struct{}),
 	}
@@ -82,10 +89,22 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 	return p
 }
 
+// stopJanitor halts the janitor goroutine exactly once.
+func (p *Participant) stopJanitor() {
+	p.stopOnce.Do(func() { close(p.janitorStop) })
+	p.janitorWG.Wait()
+}
+
+// Abandon stops the janitor without touching in-flight transactions —
+// the crash path: memory is dropped as-is, nothing is rolled back, no
+// goroutine keeps mutating state that a restarted instance now owns.
+func (p *Participant) Abandon() {
+	p.stopJanitor()
+}
+
 // Close stops the janitor and aborts in-flight transactions.
 func (p *Participant) Close() {
-	close(p.janitorStop)
-	p.janitorWG.Wait()
+	p.stopJanitor()
 	p.mu.Lock()
 	actives := make([]*activeTxn, 0, len(p.active))
 	for _, at := range p.active {
@@ -109,18 +128,27 @@ func (p *Participant) onFiber(h func(*fibers.Fiber, *erpc.Request)) erpc.Handler
 	}
 }
 
+// errTxnReclaimed answers late operations for a janitor-reclaimed
+// transaction; the coordinator sees the error and aborts.
+const errTxnReclaimed = "twopc: transaction reclaimed after idle timeout"
+
 // txIDOf extracts the global transaction id from message metadata.
 func txIDOf(md seal.MsgMetadata) lsm.TxID {
 	return globalTxID(md.NodeID, md.TxID)
 }
 
 // find returns the active transaction for id, creating one (with the
-// fiber's yield) if create is set.
+// fiber's yield) if create is set. Ids tombstoned by the janitor are
+// never re-created: a late operation after reclamation must fail so the
+// coordinator aborts instead of preparing a partial write set.
 func (p *Participant) find(id lsm.TxID, f *fibers.Fiber, create bool) *activeTxn {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	at, ok := p.active[id]
 	if !ok && create {
+		if _, dead := p.reclaimed[id]; dead {
+			return nil
+		}
 		at = &activeTxn{
 			local: p.mgr.BeginPessimistic(nil),
 			id:    id,
@@ -154,6 +182,10 @@ func (p *Participant) handleGet(f *fibers.Fiber, req *erpc.Request) {
 		return
 	}
 	at := p.find(txIDOf(req.Meta), f, true)
+	if at == nil {
+		req.ReplyError(errTxnReclaimed)
+		return
+	}
 	key := req.Payload[:req.Meta.KeyLen]
 	at.mu.Lock()
 	at.local.SetYield(f.Yield)
@@ -177,6 +209,10 @@ func (p *Participant) handlePut(f *fibers.Fiber, req *erpc.Request) {
 		return
 	}
 	at := p.find(txIDOf(req.Meta), f, true)
+	if at == nil {
+		req.ReplyError(errTxnReclaimed)
+		return
+	}
 	key := req.Payload[:req.Meta.KeyLen]
 	value := req.Payload[req.Meta.KeyLen : req.Meta.KeyLen+req.Meta.ValueLen]
 	at.mu.Lock()
@@ -197,6 +233,10 @@ func (p *Participant) handleDelete(f *fibers.Fiber, req *erpc.Request) {
 		return
 	}
 	at := p.find(txIDOf(req.Meta), f, true)
+	if at == nil {
+		req.ReplyError(errTxnReclaimed)
+		return
+	}
 	key := req.Payload[:req.Meta.KeyLen]
 	at.mu.Lock()
 	at.local.SetYield(f.Yield)
@@ -314,12 +354,19 @@ func (p *Participant) janitor() {
 		case <-ticker.C:
 		}
 		cutoff := time.Now().Add(-p.idleTimeout)
+		tombCutoff := time.Now().Add(-8 * p.idleTimeout)
 		p.mu.Lock()
 		var stale []*activeTxn
 		for id, at := range p.active {
 			if !at.prepared && at.last.Before(cutoff) {
 				stale = append(stale, at)
 				delete(p.active, id)
+				p.reclaimed[id] = time.Now()
+			}
+		}
+		for id, when := range p.reclaimed {
+			if when.Before(tombCutoff) {
+				delete(p.reclaimed, id)
 			}
 		}
 		p.mu.Unlock()
@@ -375,7 +422,17 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 		coordID, _ := splitTxID(at.id)
 		addr := addrOf(coordID)
 		resolved := false
+		backoff := 50 * time.Millisecond
+		const maxBackoff = 800 * time.Millisecond
 		for try := 0; try < attempts && !resolved; try++ {
+			if try > 0 {
+				// Bounded exponential backoff between status queries: the
+				// coordinator may still be restarting or partitioned.
+				erpc.SleepYield(backoff, yield)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
 			_, seq := splitTxID(at.id)
 			md := seal.MsgMetadata{TxID: seq, OpID: opBase + uint64(try+1), OpType: uint32(ReqTxStatus)}
 			// The status query carries the *original* coordinator's id in
@@ -405,9 +462,8 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 				p.drop(at.id)
 				resolved = true
 			default:
-				// Pending: coordinator recovery will push a decision; wait
-				// briefly and re-ask.
-				time.Sleep(50 * time.Millisecond)
+				// Pending: coordinator recovery will push a decision; the
+				// loop's backoff paces the re-ask.
 			}
 		}
 		if !resolved {
