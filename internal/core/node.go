@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"treaty/internal/attest"
@@ -17,6 +18,7 @@ import (
 	"treaty/internal/fibers"
 	"treaty/internal/lsm"
 	"treaty/internal/mempool"
+	"treaty/internal/seal"
 	"treaty/internal/simnet"
 	"treaty/internal/twopc"
 	"treaty/internal/txn"
@@ -223,15 +225,39 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 		if err := os.MkdirAll(ctrDir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: counter dir: %w", err)
 		}
+		// Load every persisted counter up front: at secure storage levels
+		// an unreadable or corrupt counter file must refuse the boot —
+		// recovery running against a zero counter would discard the WAL
+		// and silently lose acknowledged commits. Plain level never checks
+		// freshness, so it may fall back to a volatile counter.
+		secure := n.cfg.Mode.StorageLevel() > seal.LevelNone
+		entries, err := os.ReadDir(ctrDir)
+		if err != nil {
+			return nil, fmt.Errorf("core: counter dir: %w", err)
+		}
 		cache := make(map[string]lsm.TrustedCounter)
+		for _, e := range entries {
+			if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+				continue // .tmp: torn atomic-write leftover; the real file is authoritative
+			}
+			c, err := lsm.NewFileCounter(filepath.Join(ctrDir, e.Name()))
+			if err != nil {
+				if secure {
+					return nil, fmt.Errorf("core: trusted counter unreadable, refusing to boot (recovery would discard the WAL): %w", err)
+				}
+				c = lsm.NewImmediateCounter()
+			}
+			cache[e.Name()] = c
+		}
 		return func(name string) lsm.TrustedCounter {
 			if c, ok := cache[name]; ok {
 				return c
 			}
+			// Not in the cache ⇒ no counter file existed at boot, so there
+			// is no pre-crash stable value to lose; a creation failure here
+			// only costs durability of stabilizations made after it.
 			c, err := lsm.NewFileCounter(filepath.Join(ctrDir, name))
 			if err != nil {
-				// Unreadable state: fall back to a volatile counter rather
-				// than refuse to boot (plain-level modes never check it).
 				c = lsm.NewImmediateCounter()
 			}
 			cache[name] = c

@@ -130,15 +130,17 @@ func spinWait(d time.Duration) {
 		return
 	}
 	iters := int(float64(d.Nanoseconds()) * spinItersPerNS())
-	sink := spinSink
+	sink := spinSink.Load()
 	for i := 0; i < iters; i++ {
 		sink = sink*2862933555777941757 + 3037000493
 	}
-	spinSink = sink
+	spinSink.Store(sink)
 }
 
-// spinSink defeats dead-code elimination of the spin loop.
-var spinSink uint64
+// spinSink defeats dead-code elimination of the spin loop. Atomic
+// because concurrent spinners share it (its value is meaningless; only
+// the data dependency matters).
+var spinSink atomic.Uint64
 
 var (
 	spinCalOnce sync.Once
@@ -149,13 +151,13 @@ var (
 func spinItersPerNS() float64 {
 	spinCalOnce.Do(func() {
 		const probe = 2_000_000
-		sink := spinSink
+		sink := spinSink.Load()
 		start := time.Now()
 		for i := 0; i < probe; i++ {
 			sink = sink*2862933555777941757 + 3037000493
 		}
 		elapsed := time.Since(start)
-		spinSink = sink
+		spinSink.Store(sink)
 		if elapsed <= 0 {
 			elapsed = time.Millisecond
 		}

@@ -235,16 +235,20 @@ func (ep *Endpoint) NodeID() uint64 { return ep.cfg.NodeID }
 func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, payload []byte, onDone func(*Pending)) *Pending {
 	reqID := ep.nextReqID.Add(1)
 	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{})}
-	if ep.closed.Load() {
-		// A closed endpoint can never deliver a response; fail the call
-		// immediately instead of parking it until the caller's timeout.
-		p.complete(nil, ErrClosed)
-		return p
-	}
 	md.NodeID = ep.cfg.NodeID
 	md.Seq = reqID
 	wire := ep.encode(reqType, 0, reqID, &md, payload)
 	ep.mu.Lock()
+	if ep.closed.Load() {
+		// A closed endpoint can never deliver a response; fail the call
+		// immediately instead of parking it until the caller's timeout.
+		// Checked under ep.mu so the insert cannot race Close's drain of
+		// the pending map (Close sets closed before taking ep.mu, so once
+		// it has drained, any later Enqueue observes closed here).
+		ep.mu.Unlock()
+		p.complete(nil, ErrClosed)
+		return p
+	}
 	ep.pending[reqID] = p
 	ep.txq = append(ep.txq, outMsg{to: to, wire: wire})
 	ep.mu.Unlock()

@@ -123,6 +123,53 @@ func TestTxBurstPartialFailure(t *testing.T) {
 	}
 }
 
+// TestEnqueueCloseRace races Enqueue against Close: every Pending handed
+// out must complete (response or ErrClosed) once Close returns — an
+// entry inserted after Close drained the map would otherwise park its
+// caller for the full timeout, contradicting Close's contract.
+func TestEnqueueCloseRace(t *testing.T) {
+	key, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		tr := &flakyTransport{}
+		ep, err := NewEndpoint(Config{NodeID: 1, Transport: tr, NetworkKey: key, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers = 4
+		pendings := make([][]*Pending, workers)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 8; i++ {
+					p := ep.Enqueue("peer", reqEcho, seal.MsgMetadata{TxID: uint64(i + 1), OpID: 1}, nil, nil)
+					pendings[w] = append(pendings[w], p)
+				}
+			}()
+		}
+		close(start)
+		ep.Close()
+		wg.Wait()
+		for w := range pendings {
+			for i, p := range pendings[w] {
+				if !p.Done() {
+					t.Fatalf("round %d: pending %d/%d not completed after Close", round, w, i)
+				}
+			}
+		}
+		if n := ep.PendingCount(); n != 0 {
+			t.Fatalf("round %d: pending map leaked %d entries after Close", round, n)
+		}
+	}
+}
+
 // TestHandlerPanicContained registers a panicking handler: the poller
 // must survive, the caller must get an error reply, and later requests
 // must still be served.

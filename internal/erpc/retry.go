@@ -73,14 +73,20 @@ func CallRetry(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payl
 
 // SleepYield waits d, cooperating with a fiber yield when one is
 // provided (a plain time.Sleep would park the fiber's worker thread).
+// The wait is dominated by yields; the worker pauses only every 64th
+// iteration (Call's spin pattern) so concurrent backoffs on a small
+// worker pool do not stall handler fibers and pollers.
 func SleepYield(d time.Duration, yield func()) {
 	if yield == nil {
 		time.Sleep(d)
 		return
 	}
 	deadline := time.Now().Add(d)
+	spins := 0
 	for time.Now().Before(deadline) {
 		yield()
-		time.Sleep(time.Millisecond)
+		if spins++; spins%64 == 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -22,14 +23,20 @@ type fileCounter struct {
 }
 
 // NewFileCounter opens (or creates) a persistent instant-stability
-// counter backed by the 8-byte file at path.
+// counter backed by the 8-byte file at path. A file that exists but is
+// shorter than 8 bytes is corruption, not an empty counter: treating it
+// as value 0 would make recovery discard the WAL as an unstabilized
+// tail. Stabilize's atomic rename never leaves a short file, so one can
+// only appear through external damage.
 func NewFileCounter(path string) (TrustedCounter, error) {
 	c := &fileCounter{path: path}
 	b, err := os.ReadFile(path)
 	switch {
 	case err == nil && len(b) >= 8:
 		c.v.Store(binary.LittleEndian.Uint64(b))
-	case err != nil && !os.IsNotExist(err):
+	case err == nil:
+		return nil, fmt.Errorf("lsm: counter %s corrupt: %d bytes, want 8", path, len(b))
+	case !os.IsNotExist(err):
 		return nil, fmt.Errorf("lsm: reading counter %s: %w", path, err)
 	}
 	return c, nil
@@ -39,20 +46,58 @@ func NewFileCounter(path string) (TrustedCounter, error) {
 // call returns, keeping the persisted stable value in lockstep with the
 // log (the log is synced before it stabilizes, so persisted ≤ synced
 // always holds and recovery never discards an acknowledged entry).
+// Persistence is write-temp + fsync + rename + fsync-dir so a crash at
+// any point leaves either the old value or the new one, never a torn or
+// truncated file.
 func (c *fileCounter) Stabilize(v uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if v <= c.v.Load() {
 		return
 	}
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	if err := os.WriteFile(c.path, b[:], 0o644); err != nil {
+	if err := c.persist(v); err != nil {
 		// A counter that cannot persist must not advance: advancing only
 		// in memory would re-open the discard-on-restart hole.
 		return
 	}
 	c.v.Store(v)
+}
+
+// persist durably replaces the counter file with v.
+func (c *fileCounter) persist(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	tmp := c.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(b[:]); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, c.path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Sync the directory so the rename itself survives a crash. If this
+	// fails the file already holds v — safe, because the log entry for v
+	// was synced before Stabilize was called — but the in-memory value
+	// must not advance past what is known durable.
+	d, err := os.Open(filepath.Dir(c.path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // WaitStable implements TrustedCounter (stability is immediate).
