@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos vet
+.PHONY: build test race test-race chaos soak-metrics vet
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,19 @@ test:
 race:
 	$(GO) vet ./... && $(GO) test -race -short ./internal/erpc/... ./internal/twopc/... ./internal/chaos/...
 
+# Race-detector pass over the observability layer and everything that
+# feeds it (metrics registry, RPC, 2PC, chaos invariants).
+test-race:
+	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/...
+
 # Full 20-round chaos soak with per-round logging.
 chaos:
 	$(GO) test -v -run TestChaosSoak ./internal/chaos/
+
+# Full chaos soak with metric conservation laws checked every round and
+# the final cluster metrics snapshot printed (verbose logs carry it).
+soak-metrics:
+	$(GO) test -v -run 'TestChaosSoak|TestMetricLawViolationDetected' ./internal/chaos/
 
 vet:
 	$(GO) vet ./...

@@ -6,6 +6,7 @@
 //
 //	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1]
 //	             [-duration 2s] [-clients 32] [-entries 200000]
+//	             [-metrics out.json]
 package main
 
 import (
@@ -24,7 +25,15 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measurement duration per version")
 	clients := flag.Int("clients", 32, "concurrent clients")
 	entries := flag.Int("entries", 200000, "log entries for the recovery experiment (paper: 800000)")
+	metricsOut := flag.String("metrics", "", "write machine-readable per-run metrics reports (JSON) to this file")
 	flag.Parse()
+
+	var allMetrics []bench.Measurement
+	captureMetrics := func(ms []bench.Measurement) {
+		if *metricsOut != "" {
+			allMetrics = append(allMetrics, ms...)
+		}
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -57,6 +66,7 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.PrintFig5(ratio, ms))
+			captureMetrics(ms)
 		}
 		return nil
 	})
@@ -68,6 +78,7 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.PrintFig3(w, ms))
+			captureMetrics(ms)
 		}
 		return nil
 	})
@@ -127,5 +138,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
+	}
+
+	if *metricsOut != "" {
+		js, err := bench.ReportJSON(allMetrics)
+		if err != nil {
+			log.Fatalf("metrics report: %v", err)
+		}
+		if err := os.WriteFile(*metricsOut, js, 0o644); err != nil {
+			log.Fatalf("metrics report: %v", err)
+		}
+		fmt.Printf("wrote metrics reports to %s\n", *metricsOut)
 	}
 }

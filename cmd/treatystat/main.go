@@ -1,0 +1,84 @@
+// Command treatystat boots a small in-process Treaty cluster, drives a
+// short mixed workload through it, and dumps the cluster's full metrics
+// snapshot as JSON — a smoke-viewer for the observability layer: every
+// counter, gauge and 2PC stage-latency histogram a node exports.
+//
+// Usage:
+//
+//	treatystat [-nodes 3] [-txns 200] [-mode enc|stab] [-digest]
+//
+// -digest prints the condensed per-node report (the same digest the
+// benchmark harness attaches to distributed measurements) instead of the
+// raw snapshot.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"treaty/internal/bench"
+	"treaty/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	nodes := flag.Int("nodes", 3, "cluster size")
+	txns := flag.Int("txns", 200, "transactions to run before snapshotting")
+	mode := flag.String("mode", "enc", "security mode: enc (encrypted, immediate counters) or stab (counter-service stabilization)")
+	digest := flag.Bool("digest", false, "print the condensed per-node digest instead of the raw snapshot")
+	flag.Parse()
+
+	secMode := core.ModeNativeTreatyEnc
+	switch *mode {
+	case "enc":
+	case "stab":
+		secMode = core.ModeSconeEncStab
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cluster, err := core.NewCluster(core.ClusterOptions{Nodes: *nodes, Mode: secMode, Seed: 7})
+	if err != nil {
+		log.Fatalf("treatystat: booting cluster: %v", err)
+	}
+	defer cluster.Stop()
+
+	// A short mixed workload: writes spanning all shards, reads, and a
+	// rollback every 10th transaction so abort metrics are populated too.
+	for i := 0; i < *txns; i++ {
+		tx := cluster.Node(i % *nodes).Begin(nil)
+		key := fmt.Sprintf("stat/%04d", i)
+		if err := tx.Put([]byte(key), []byte("v")); err != nil {
+			_ = tx.Rollback()
+			continue
+		}
+		if i > 0 {
+			if _, _, err := tx.Get([]byte(fmt.Sprintf("stat/%04d", i-1))); err != nil {
+				_ = tx.Rollback()
+				continue
+			}
+		}
+		if i%10 == 9 {
+			_ = tx.Rollback()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			log.Printf("treatystat: txn %d: %v", i, err)
+		}
+	}
+
+	var out []byte
+	if *digest {
+		out, err = json.MarshalIndent(bench.CaptureMetrics("treatystat", cluster), "", "  ")
+	} else {
+		out, err = cluster.SnapshotJSON()
+	}
+	if err != nil {
+		log.Fatalf("treatystat: rendering snapshot: %v", err)
+	}
+	fmt.Println(string(out))
+}

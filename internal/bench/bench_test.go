@@ -58,6 +58,29 @@ func TestFig5Shape(t *testing.T) {
 		t.Errorf("Treaty w/ Enc (%.0f) should be slower than DS-RocksDB (%.0f)", ms[2].Tps, ms[0].Tps)
 	}
 	t.Log("\n" + PrintFig5(0.8, ms))
+
+	// Every distributed measurement carries a metrics report whose node
+	// digests account for the committed transactions: the sum of per-node
+	// coordinator commits equals the measured commit count.
+	for _, m := range ms {
+		if m.Metrics == nil || len(m.Metrics.Nodes) == 0 {
+			t.Fatalf("%s: no metrics report captured", m.Label)
+		}
+		var committed uint64
+		for _, d := range m.Metrics.Nodes {
+			committed += d.TxCommitted
+		}
+		if committed < m.Committed {
+			t.Errorf("%s: digest commits %d < measured commits %d", m.Label, committed, m.Committed)
+		}
+		if _, ok := m.Metrics.Nodes["node-0"].Stages["commit"]; !ok {
+			t.Errorf("%s: node-0 digest missing commit-stage latency", m.Label)
+		}
+	}
+	js, err := ReportJSON(ms)
+	if err != nil || len(js) == 0 {
+		t.Fatalf("ReportJSON: %v (%d bytes)", err, len(js))
+	}
 }
 
 func TestFig3Shape(t *testing.T) {

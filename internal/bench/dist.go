@@ -88,11 +88,12 @@ func RunFig5(cfg DistConfig, readRatio float64) ([]Measurement, error) {
 			return nil, err
 		}
 		m, err := runDistYCSB(c, cfg, readRatio)
+		m.Label = distVersionLabel(mode)
+		m.Metrics = CaptureMetrics(m.Label, c)
 		c.Stop()
 		if err != nil {
 			return nil, err
 		}
-		m.Label = distVersionLabel(mode)
 		out = append(out, m)
 	}
 	return out, nil
@@ -210,11 +211,12 @@ func RunFig3(cfg DistConfig, warehouses int) ([]Measurement, error) {
 			return nil, err
 		}
 		m, err := runDistTPCC(c, cfg, warehouses)
+		m.Label = distVersionLabel(mode)
+		m.Metrics = CaptureMetrics(m.Label, c)
 		c.Stop()
 		if err != nil {
 			return nil, err
 		}
-		m.Label = distVersionLabel(mode)
 		out = append(out, m)
 	}
 	return out, nil

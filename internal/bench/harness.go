@@ -28,6 +28,9 @@ type Measurement struct {
 	// Committed and Aborted count transaction outcomes.
 	Committed uint64
 	Aborted   uint64
+	// Metrics is the per-node observability digest captured before the
+	// run's cluster was torn down (distributed experiments only).
+	Metrics *MetricsReport `json:",omitempty"`
 }
 
 // Slowdown returns base.Tps / m.Tps (the paper's "slowdown w.r.t. X").

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+
+	"treaty/internal/core"
+	"treaty/internal/obs"
+)
+
+// Machine-readable metrics capture for benchmark runs: every distributed
+// measurement can carry a per-node digest of the observability snapshot
+// taken right before its cluster is torn down, so a run's throughput
+// numbers come with the 2PC stage latencies, WAL traffic and enclave
+// costs that explain them.
+
+// StageLat is one 2PC stage's latency summary in milliseconds.
+type StageLat struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// NodeDigest condenses one node's snapshot to the numbers the paper's
+// evaluation discusses.
+type NodeDigest struct {
+	TxBegun     uint64 `json:"tx_begun"`
+	TxCommitted uint64 `json:"tx_committed"`
+	TxAborted   uint64 `json:"tx_aborted"`
+
+	// Stages maps stage name ("prepare", "commit", ...) to its latency
+	// histogram summary.
+	Stages map[string]StageLat `json:"stages,omitempty"`
+
+	StabilizeWaitP99Ms float64 `json:"stabilize_wait_p99_ms"`
+
+	WALAppends uint64 `json:"wal_appends"`
+	WALSyncs   uint64 `json:"wal_syncs"`
+	// BloomFilterRate is the fraction of filtered point reads (bloom
+	// negatives / bloom checks), 0 when no SSTable was consulted.
+	BloomFilterRate float64 `json:"bloom_filter_rate"`
+
+	RPCRetries    uint64 `json:"rpc_retries"`
+	WorldSwitches uint64 `json:"world_switches"`
+	AsyncSyscalls uint64 `json:"async_syscalls"`
+}
+
+// MetricsReport is the per-version report: one digest per node address.
+type MetricsReport struct {
+	Label string                `json:"label"`
+	Nodes map[string]NodeDigest `json:"nodes"`
+}
+
+// twopcStages are the stage-histogram suffixes digested into NodeDigest.
+var twopcStages = []string{
+	"begin", "execute", "prepare", "log-force",
+	"counter-stabilize", "commit", "abort", "reclaim",
+}
+
+// DigestSnapshot condenses a node snapshot into a NodeDigest.
+func DigestSnapshot(s obs.Snapshot) NodeDigest {
+	d := NodeDigest{
+		TxBegun:       s.Counter("twopc.tx.begun"),
+		TxCommitted:   s.Counter("twopc.tx.committed"),
+		TxAborted:     s.Counter("twopc.tx.aborted"),
+		WALAppends:    s.Counter("lsm.wal.appends"),
+		WALSyncs:      s.Counter("lsm.wal.syncs"),
+		RPCRetries:    s.Counter("erpc.req.retries"),
+		WorldSwitches: s.Counter("enclave.world_switches"),
+		AsyncSyscalls: s.Counter("enclave.async_syscalls"),
+		Stages:        make(map[string]StageLat),
+	}
+	const ms = 1e6 // histogram samples are nanoseconds
+	for _, st := range twopcStages {
+		h, ok := s.Histograms["twopc.stage."+st]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		d.Stages[st] = StageLat{
+			Count: h.Count,
+			P50Ms: float64(h.P50) / ms, P95Ms: float64(h.P95) / ms, P99Ms: float64(h.P99) / ms,
+		}
+	}
+	d.StabilizeWaitP99Ms = float64(s.Histograms["twopc.stabilize.wait_ns"].P99) / ms
+	if checks := s.Counter("lsm.bloom.checks"); checks > 0 {
+		d.BloomFilterRate = float64(s.Counter("lsm.bloom.negatives")) / float64(checks)
+	}
+	return d
+}
+
+// CaptureMetrics digests every live node of a cluster.
+func CaptureMetrics(label string, c *core.Cluster) *MetricsReport {
+	r := &MetricsReport{Label: label, Nodes: make(map[string]NodeDigest)}
+	for addr, s := range c.Snapshot() {
+		r.Nodes[addr] = DigestSnapshot(s)
+	}
+	return r
+}
+
+// ReportJSON renders measurement metrics reports as indented JSON.
+func ReportJSON(ms []Measurement) ([]byte, error) {
+	reports := make([]*MetricsReport, 0, len(ms))
+	for _, m := range ms {
+		if m.Metrics != nil {
+			reports = append(reports, m.Metrics)
+		}
+	}
+	return json.MarshalIndent(reports, "", "  ")
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"treaty/internal/core"
+	"treaty/internal/obs"
 	"treaty/internal/twopc"
 )
 
@@ -436,6 +437,67 @@ func (h *Harness) verify() error {
 	return fmt.Errorf("chaos: verification transaction kept aborting: %w", lastErr)
 }
 
+// nodeMetricLaws checks the metric conservation laws on one node's
+// snapshot, or returns "" when they all hold:
+//
+//   - 2PC: tx.begun == tx.committed + tx.aborted + tx.inflight — every
+//     coordinated transaction is accounted for exactly once (recovery
+//     replays are deliberately outside the law, see twopc.recover.*).
+//   - eRPC: req.enqueued == req.delivered + req.cancelled + req.orphaned
+//   - req.pending, for the node endpoint and (in stab mode) the
+//     counter-service endpoint.
+//   - WAL: the appended LSN never trails the stabilized counter — the
+//     counter only advances after a durable append.
+func nodeMetricLaws(addr string, s obs.Snapshot) string {
+	begun := s.Counter("twopc.tx.begun")
+	committed := s.Counter("twopc.tx.committed")
+	aborted := s.Counter("twopc.tx.aborted")
+	inflight := s.Gauge("twopc.tx.inflight")
+	if inflight < 0 || begun != committed+aborted+uint64(inflight) {
+		return fmt.Sprintf("%s: 2PC law violated: begun=%d committed=%d aborted=%d inflight=%d",
+			addr, begun, committed, aborted, inflight)
+	}
+	for _, pfx := range []string{"erpc", "erpc.ctr"} {
+		enq := s.Counter(pfx + ".req.enqueued")
+		resolved := s.Counter(pfx+".req.delivered") + s.Counter(pfx+".req.cancelled") +
+			s.Counter(pfx+".req.orphaned")
+		pending := s.Gauge(pfx + ".req.pending")
+		if pending < 0 || enq != resolved+uint64(pending) {
+			return fmt.Sprintf("%s: %s request law violated: enqueued=%d resolved=%d pending=%d",
+				addr, pfx, enq, resolved, pending)
+		}
+	}
+	if app, stable := s.Gauge("lsm.wal.appended_lsn"), s.Gauge("lsm.wal.stable_lsn"); app < stable {
+		return fmt.Sprintf("%s: WAL law violated: appended_lsn=%d < stable_lsn=%d", addr, app, stable)
+	}
+	return ""
+}
+
+// checkMetricLaws asserts the conservation laws on every live node. A
+// snapshot is not one atomic cut across a node's atomics, so a transient
+// imbalance right after quiescence is legal; the check retries briefly
+// and only a persistent violation is fatal.
+func (h *Harness) checkMetricLaws() error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		why := ""
+		h.nodesMu.RLock()
+		for i := 0; i < h.cluster.Nodes() && why == ""; i++ {
+			if n := h.cluster.Node(i); n != nil {
+				why = nodeMetricLaws(n.Addr(), n.Snapshot())
+			}
+		}
+		h.nodesMu.RUnlock()
+		if why == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: %s", why)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // Run executes the scripted soak: for each fault, inject, run traffic,
 // lift, drain, verify. It returns per-round stats and the first fatal
 // invariant violation.
@@ -455,10 +517,16 @@ func (h *Harness) Run(script []Fault) ([]RoundStats, error) {
 		if err := h.verify(); err != nil {
 			return stats, fmt.Errorf("chaos: round %d (%s): %w", round+1, fault.Name(), err)
 		}
+		if err := h.checkMetricLaws(); err != nil {
+			return stats, fmt.Errorf("chaos: round %d (%s): %w", round+1, fault.Name(), err)
+		}
 		rs := RoundStats{Fault: fault.Name(), Commits: commits, Aborts: aborts, DrainTime: drainTime}
 		stats = append(stats, rs)
 		h.cfg.Logf("chaos: round %d/%d: %s: %d commits, %d aborts, drained in %v",
 			round+1, len(script), fault.Name(), commits, aborts, drainTime)
+	}
+	if js, err := h.cluster.SnapshotJSON(); err == nil {
+		h.cfg.Logf("chaos: final metrics snapshot:\n%s", js)
 	}
 	return stats, nil
 }

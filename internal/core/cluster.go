@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"treaty/internal/counter"
 	"treaty/internal/enclave"
 	"treaty/internal/erpc"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/simnet"
 )
@@ -248,6 +250,24 @@ func (c *Cluster) NewClient() (*Client, error) {
 		Secret:       secret,
 		Secure:       c.opts.Mode.SecureRPC(),
 	})
+}
+
+// Snapshot returns a point-in-time metrics snapshot for every live node,
+// keyed by node address. Crashed nodes are absent; a restarted node
+// reports its current incarnation's counters (per-boot, see Node.Metrics).
+func (c *Cluster) Snapshot() map[string]obs.Snapshot {
+	out := make(map[string]obs.Snapshot)
+	for i, n := range c.nodes {
+		if n != nil {
+			out[c.nodeCfg[i].Addr] = n.Snapshot()
+		}
+	}
+	return out
+}
+
+// SnapshotJSON renders the cluster snapshot as indented JSON.
+func (c *Cluster) SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(c.Snapshot(), "", "  ")
 }
 
 // CrashNode crash-stops node i (files survive; memory is lost).

@@ -18,6 +18,7 @@ import (
 	"treaty/internal/fibers"
 	"treaty/internal/lsm"
 	"treaty/internal/mempool"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/simnet"
 	"treaty/internal/twopc"
@@ -92,6 +93,7 @@ type Node struct {
 	cluster *attest.ClusterConfig
 	router  twopc.Router
 	clients *clientSessions
+	reg     *obs.Registry
 }
 
 // StartNode boots a node: launch the enclave, attest to the CAS, receive
@@ -103,7 +105,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: launching enclave: %w", err)
 	}
-	n := &Node{cfg: cfg, encl: encl, rt: encl.Runtime()}
+	n := &Node{cfg: cfg, encl: encl, rt: encl.Runtime(), reg: obs.NewRegistry()}
+	n.rt.RegisterMetrics(n.reg)
 
 	// Trust establishment: attest, receive keys and cluster layout.
 	inst, err := attest.NewInstance(encl, cfg.LAS)
@@ -137,6 +140,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Secure:     cfg.Mode.SecureRPC(),
 		Runtime:    n.rt,
 		Pool:       n.pool,
+		Metrics:    n.reg,
 	})
 	if err != nil {
 		n.sched.Stop()
@@ -159,6 +163,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Counters:           counters,
 		MemTableSize:       cfg.MemTableSize,
 		DisableGroupCommit: cfg.DisableGroupCommit,
+		Metrics:            n.reg,
 	})
 	if err != nil {
 		n.shutdownPartial()
@@ -180,6 +185,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Endpoint:    n.ep,
 		Scheduler:   n.sched,
 		IdleTimeout: cfg.IdleTimeout,
+		Metrics:     n.reg,
 	})
 	clogCtr := counters("CLOG-000001")
 	maxStable := int64(-1)
@@ -200,6 +206,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Router:    n.router,
 		Recovered: recovered,
 		Timeout:   cfg.TxnTimeout,
+		Metrics:   n.reg,
 	})
 
 	// Re-initialize prepared transactions found during recovery; they
@@ -282,6 +289,10 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 		NetworkKey: clusterCfg.NetworkKey,
 		Secure:     true,
 		Runtime:    n.rt,
+		Metrics:    n.reg,
+		// The node endpoint already owns the "erpc." names in this
+		// registry; the counter-service endpoint gets its own prefix.
+		MetricsPrefix: "erpc.ctr",
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +301,7 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 	n.ctrCli, err = counter.NewClient(counter.ClientConfig{
 		Endpoint: n.ctrEP,
 		Replicas: clusterCfg.CounterReplicas,
+		Metrics:  n.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -439,3 +451,11 @@ func (n *Node) Participant() *twopc.Participant { return n.part }
 
 // Coordinator exposes the 2PC coordinator (leak checks, tests).
 func (n *Node) Coordinator() *twopc.Coordinator { return n.coord }
+
+// Metrics exposes the node's metrics registry. Every subsystem of this
+// boot registers into it; a restarted node starts a fresh registry, so
+// counters are per-incarnation.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// Snapshot returns a point-in-time view of every metric on the node.
+func (n *Node) Snapshot() obs.Snapshot { return n.reg.Snapshot() }

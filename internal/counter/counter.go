@@ -25,9 +25,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treaty/internal/erpc"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 )
 
@@ -73,8 +75,17 @@ type Client struct {
 
 	mu      sync.Mutex
 	handles map[string]*Handle
-	nextOp  uint64
-	nextTx  uint64
+
+	// Id allocation is atomic, not mutex-guarded: broadcast takes ids on
+	// the stabilization hot path, concurrently from every handle pump.
+	nextOp atomic.Uint64
+	nextTx atomic.Uint64
+
+	// metrics (nil-safe when no registry is configured)
+	rounds        *obs.Counter
+	roundFailures *obs.Counter
+	roundLatency  *obs.Histogram
+	batchSize     *obs.Histogram
 }
 
 // ClientConfig configures a Client.
@@ -88,6 +99,9 @@ type ClientConfig struct {
 	Quorum int
 	// Timeout bounds each protocol round (default 2s).
 	Timeout time.Duration
+	// Metrics, when non-nil, records stabilization round counts,
+	// failures, latency, and batch sizes under "counter.*".
+	Metrics *obs.Registry
 }
 
 // NewClient creates a counter client.
@@ -107,6 +121,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		quorum:   cfg.Quorum,
 		timeout:  cfg.Timeout,
 		handles:  make(map[string]*Handle),
+		// All nil when Metrics is nil: recording becomes a no-op.
+		rounds:        cfg.Metrics.Counter("counter.rounds"),
+		roundFailures: cfg.Metrics.Counter("counter.round.failures"),
+		roundLatency:  cfg.Metrics.Histogram("counter.round.latency_ns"),
+		batchSize:     cfg.Metrics.Histogram("counter.batch.size"),
 	}, nil
 }
 
@@ -148,18 +167,12 @@ func (c *Client) RecoverStable(name string) (uint64, error) {
 // broadcast sends one round to all replicas and waits for a quorum of
 // replies, returning their reported values.
 func (c *Client) broadcast(reqType uint8, name string, value uint64) ([]uint64, error) {
-	c.mu.Lock()
-	c.nextTx++
-	tx := c.nextTx
-	c.mu.Unlock()
+	tx := c.nextTx.Add(1)
 
 	payload := encodeReq(name, value)
 	pendings := make([]*erpc.Pending, len(c.replicas))
 	for i, addr := range c.replicas {
-		c.mu.Lock()
-		c.nextOp++
-		op := c.nextOp
-		c.mu.Unlock()
+		op := c.nextOp.Add(1)
 		md := seal.MsgMetadata{TxID: tx, OpID: op, OpType: uint32(reqType)}
 		pendings[i] = c.ep.Enqueue(addr, reqType, md, payload, nil)
 	}
@@ -288,9 +301,18 @@ func (h *Handle) pump() {
 			return
 		}
 		target := h.pending
+		batched := target - h.stable // increments covered by this round
 		h.mu.Unlock()
 
+		c := h.client
+		c.rounds.Inc()
+		c.batchSize.Observe(int64(batched))
+		roundStart := time.Now()
 		err := h.runRounds(target)
+		c.roundLatency.ObserveSince(roundStart)
+		if err != nil {
+			c.roundFailures.Inc()
+		}
 
 		h.mu.Lock()
 		if err == nil {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"treaty/internal/obs"
 )
 
 // RuntimeConfig configures the TEE cost model for one enclave.
@@ -268,6 +270,22 @@ func (rt *Runtime) TouchEnclave(n int) {
 		rt.pageFaults.Add(uint64(pages))
 		spinWait(time.Duration(pages) * rt.costs.PageFault)
 	}
+}
+
+// RegisterMetrics exports the runtime's event counters into reg (nil ok)
+// as snapshot-time funcs over the existing atomics — the cost model's
+// hot paths are untouched. "enclave.paging_penalty_ns" is the cumulative
+// busy-wait charged for EPC paging (pageFaults × Costs.PageFault), the
+// quantity the paper's §VII-D memory-placement argument is about.
+func (rt *Runtime) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("enclave.world_switches", rt.worldSwitches.Load)
+	reg.CounterFunc("enclave.async_syscalls", rt.asyncSyscalls.Load)
+	reg.CounterFunc("enclave.page_faults", rt.pageFaults.Load)
+	reg.CounterFunc("enclave.paging_penalty_ns", func() uint64 {
+		return rt.pageFaults.Load() * uint64(rt.costs.PageFault.Nanoseconds())
+	})
+	reg.GaugeFunc("enclave.bytes.enclave", rt.enclaveBytes.Load)
+	reg.GaugeFunc("enclave.bytes.host", rt.hostBytes.Load)
 }
 
 // Stats returns a snapshot of the event counters.

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"treaty/internal/enclave"
 	"treaty/internal/mempool"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 )
 
@@ -107,6 +109,7 @@ type Pending struct {
 	err    error
 	onDone func(*Pending)
 	reqID  uint64
+	start  time.Time
 }
 
 // Done reports whether the response (or failure) has arrived.
@@ -154,6 +157,15 @@ type Config struct {
 	RxBurst int
 	// ReplayWindow bounds the at-most-once dedup cache (0 = 65536).
 	ReplayWindow int
+	// Metrics, when non-nil, exports the endpoint's counters and call
+	// latency under MetricsPrefix. Export is via snapshot-time counter
+	// funcs over the endpoint's own atomics, so the data path pays
+	// nothing beyond the one latency observation per delivered response.
+	Metrics *obs.Registry
+	// MetricsPrefix namespaces this endpoint's metrics ("" = "erpc";
+	// the counter-service endpoint uses "erpc.ctr" so two endpoints on
+	// one node do not collide).
+	MetricsPrefix string
 }
 
 // Endpoint is one node's RPC port: it sends requests, receives responses,
@@ -177,9 +189,15 @@ type Endpoint struct {
 
 	replay *replayCache
 
-	// stats
+	// stats (all atomic: Stats() and the metrics funcs read them
+	// concurrently with the data path)
 	sent, received, replayDropped, authDropped, staleResponses atomic.Uint64
 	cancelled, txDropped, handlerPanics                        atomic.Uint64
+	requests, delivered, orphaned, retries                     atomic.Uint64
+
+	// callLatency records enqueue-to-response time for delivered
+	// requests (nil when metrics are not configured; Observe is nil-safe).
+	callLatency *obs.Histogram
 }
 
 // outMsg is one enqueued wire message.
@@ -212,7 +230,41 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		}
 		ep.codec = codec
 	}
+	ep.registerMetrics()
 	return ep, nil
+}
+
+// registerMetrics exports the endpoint's atomics into cfg.Metrics under
+// cfg.MetricsPrefix. The request-lifecycle counters obey a conservation
+// law the chaos soak asserts:
+//
+//	enqueued == delivered + cancelled + orphaned + pending
+//
+// (every request leaves the pending map exactly once: response
+// delivered, caller abandoned it, or endpoint close orphaned it).
+func (ep *Endpoint) registerMetrics() {
+	m := ep.cfg.Metrics
+	if m == nil {
+		return
+	}
+	pfx := ep.cfg.MetricsPrefix
+	if pfx == "" {
+		pfx = "erpc"
+	}
+	ep.callLatency = m.Histogram(pfx + ".call.latency_ns")
+	m.CounterFunc(pfx+".req.enqueued", ep.requests.Load)
+	m.CounterFunc(pfx+".req.delivered", ep.delivered.Load)
+	m.CounterFunc(pfx+".req.cancelled", ep.cancelled.Load)
+	m.CounterFunc(pfx+".req.orphaned", ep.orphaned.Load)
+	m.CounterFunc(pfx+".req.retries", ep.retries.Load)
+	m.CounterFunc(pfx+".msg.sent", ep.sent.Load)
+	m.CounterFunc(pfx+".msg.received", ep.received.Load)
+	m.CounterFunc(pfx+".msg.tx_dropped", ep.txDropped.Load)
+	m.CounterFunc(pfx+".msg.auth_dropped", ep.authDropped.Load)
+	m.CounterFunc(pfx+".resp.stale", ep.staleResponses.Load)
+	m.CounterFunc(pfx+".replay.hits", ep.replayDropped.Load)
+	m.CounterFunc(pfx+".handler.panics", ep.handlerPanics.Load)
+	m.GaugeFunc(pfx+".req.pending", func() int64 { return int64(ep.PendingCount()) })
 }
 
 // Register installs the handler for a request type. Registration must
@@ -234,10 +286,11 @@ func (ep *Endpoint) NodeID() uint64 { return ep.cfg.NodeID }
 // arrives.
 func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, payload []byte, onDone func(*Pending)) *Pending {
 	reqID := ep.nextReqID.Add(1)
-	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{})}
+	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{}), start: time.Now()}
 	md.NodeID = ep.cfg.NodeID
 	md.Seq = reqID
 	wire := ep.encode(reqType, 0, reqID, &md, payload)
+	ep.requests.Add(1)
 	ep.mu.Lock()
 	if ep.closed.Load() {
 		// A closed endpoint can never deliver a response; fail the call
@@ -246,6 +299,7 @@ func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, paylo
 		// the pending map (Close sets closed before taking ep.mu, so once
 		// it has drained, any later Enqueue observes closed here).
 		ep.mu.Unlock()
+		ep.orphaned.Add(1)
 		p.complete(nil, ErrClosed)
 		return p
 	}
@@ -373,6 +427,7 @@ func (ep *Endpoint) Close() error {
 	orphans := ep.pending
 	ep.pending = make(map[uint64]*Pending)
 	ep.mu.Unlock()
+	ep.orphaned.Add(uint64(len(orphans)))
 	for _, p := range orphans {
 		p.complete(nil, ErrClosed)
 	}
@@ -463,6 +518,8 @@ func (ep *Endpoint) dispatch(from string, wire []byte) {
 			ep.staleResponses.Add(1)
 			return // duplicate or stale response
 		}
+		ep.delivered.Add(1)
+		ep.callLatency.ObserveSince(p.start)
 		if flags&flagError != 0 {
 			p.complete(nil, fmt.Errorf("%w: %s", ErrRemote, string(payload)))
 		} else {
@@ -541,6 +598,17 @@ type Stats struct {
 	TxDropped uint64
 	// HandlerPanics counts handler panics contained by the dispatcher.
 	HandlerPanics uint64
+	// Requests counts outbound requests enqueued. Each obeys
+	// Requests == Delivered + Cancelled + Orphaned + PendingCount().
+	Requests uint64
+	// Delivered counts responses matched to a pending request (remote
+	// errors included: the response arrived).
+	Delivered uint64
+	// Orphaned counts pending requests failed with ErrClosed (enqueued
+	// against, or drained by, a closed endpoint).
+	Orphaned uint64
+	// Retries counts CallRetry re-attempts after a timeout.
+	Retries uint64
 }
 
 // Stats returns a snapshot of the endpoint counters.
@@ -554,5 +622,9 @@ func (ep *Endpoint) Stats() Stats {
 		Cancelled:      ep.cancelled.Load(),
 		TxDropped:      ep.txDropped.Load(),
 		HandlerPanics:  ep.handlerPanics.Load(),
+		Requests:       ep.requests.Load(),
+		Delivered:      ep.delivered.Load(),
+		Orphaned:       ep.orphaned.Load(),
+		Retries:        ep.retries.Load(),
 	}
 }

@@ -51,6 +51,7 @@ func CallRetry(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payl
 	var lastErr error
 	for try := 0; try < policy.Attempts; try++ {
 		if try > 0 {
+			ep.retries.Add(1)
 			SleepYield(backoff, yield)
 			if backoff *= 2; backoff > policy.Max {
 				backoff = policy.Max

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"treaty/internal/enclave"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 )
 
@@ -51,6 +52,12 @@ type Options struct {
 	DisableGroupCommit bool
 	// MaxGroupCommit bounds batches per commit group (default 64).
 	MaxGroupCommit int
+	// Metrics, when non-nil, exports storage metrics under "lsm.*":
+	// WAL appends/syncs and sync latency, commit group sizes, memtable
+	// flushes, compactions, bloom filter hit rate, and the WAL
+	// appended/stable LSN gauges the soak's rollback-protection
+	// invariant reads.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills in zero fields.
@@ -177,6 +184,14 @@ type DB struct {
 
 	// stats
 	flushes, compactions atomic.Uint64
+
+	// metrics (all nil-safe no-ops when Options.Metrics is nil)
+	walAppends     *obs.Counter
+	walSyncs       *obs.Counter
+	walSyncLatency *obs.Histogram
+	groupSizes     *obs.Histogram
+	bloomChecks    *obs.Counter
+	bloomNegatives *obs.Counter
 }
 
 // obsoleteFile is a file awaiting deletion, gated on a manifest entry's
@@ -235,11 +250,49 @@ func Open(opt Options) (*DB, error) {
 		}
 	}
 
+	db.registerMetrics()
+
 	db.commitWG.Add(1)
 	go db.committer()
 	db.bgWG.Add(1)
 	go db.background()
 	return db, nil
+}
+
+// registerMetrics exports the storage metrics. The LSN gauges are
+// evaluated at snapshot time under db.mu against the *current* WAL and
+// its counter (per-file counters restart when the WAL rotates, so a
+// captured pointer would go stale); they satisfy the rollback-protection
+// invariant appended_lsn >= stable_lsn that the chaos soak asserts.
+func (db *DB) registerMetrics() {
+	m := db.opt.Metrics
+	if m == nil {
+		return
+	}
+	db.walAppends = m.Counter("lsm.wal.appends")
+	db.walSyncs = m.Counter("lsm.wal.syncs")
+	db.walSyncLatency = m.Histogram("lsm.wal.sync.latency_ns")
+	db.groupSizes = m.Histogram("lsm.commit.group_size")
+	db.bloomChecks = m.Counter("lsm.bloom.checks")
+	db.bloomNegatives = m.Counter("lsm.bloom.negatives")
+	m.CounterFunc("lsm.flushes", db.flushes.Load)
+	m.CounterFunc("lsm.compactions", db.compactions.Load)
+	m.GaugeFunc("lsm.wal.appended_lsn", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.wal == nil {
+			return 0
+		}
+		return int64(db.wal.lastCounter())
+	})
+	m.GaugeFunc("lsm.wal.stable_lsn", func() int64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.walCtr == nil {
+			return 0
+		}
+		return int64(db.walCtr.StableValue())
+	})
 }
 
 // create initializes a fresh database.
@@ -403,6 +456,7 @@ func (db *DB) reader(f fileMeta) (*sstReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.bloomChecks, r.bloomNegatives = db.bloomChecks, db.bloomNegatives
 	db.mu.Lock()
 	if existing, ok := db.readers[f.number]; ok {
 		db.mu.Unlock()
@@ -489,6 +543,7 @@ func (db *DB) committer() {
 
 // commitGroup executes one commit group.
 func (db *DB) commitGroup(group []*commitReq) {
+	db.groupSizes.Observe(int64(len(group)))
 	db.mu.Lock()
 	results := make([]commitRes, len(group))
 	var maxCtr uint64
@@ -507,11 +562,16 @@ func (db *DB) commitGroup(group []*commitReq) {
 			results[i] = commitRes{err: err}
 			continue
 		}
+		db.walAppends.Inc()
 		maxCtr = ctr
 		results[i] = commitRes{token: StableToken{ctr: db.walCtr, value: ctr}}
 	}
 	if db.opt.SyncWAL {
-		if err := db.wal.sync(); err != nil {
+		syncStart := time.Now()
+		err := db.wal.sync()
+		db.walSyncs.Inc()
+		db.walSyncLatency.ObserveSince(syncStart)
+		if err != nil {
 			for i := range results {
 				if results[i].err == nil {
 					results[i] = commitRes{err: err}

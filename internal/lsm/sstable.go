@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"treaty/internal/enclave"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 )
 
@@ -234,6 +235,11 @@ type sstReader struct {
 	number  uint64
 	handles []blockHandle
 	filter  []byte
+
+	// bloom hit-rate counters, shared across the DB's readers (set by
+	// db.reader; nil-safe no-ops when metrics are off).
+	bloomChecks    *obs.Counter
+	bloomNegatives *obs.Counter
 }
 
 // openSST opens a table and verifies its index against wantHash (from the
@@ -390,8 +396,12 @@ func (r *sstReader) readBlock(i int) ([]byte, error) {
 // get looks up the newest record with user key == userKey and seq <=
 // readSeq in this table.
 func (r *sstReader) get(userKey []byte, readSeq uint64) (value []byte, seq uint64, kind RecordKind, ok bool, err error) {
-	if r.filter != nil && !bloomMayContain(r.filter, userKey) {
-		return nil, 0, 0, false, nil // definitive negative, no I/O
+	if r.filter != nil {
+		r.bloomChecks.Inc()
+		if !bloomMayContain(r.filter, userKey) {
+			r.bloomNegatives.Inc()
+			return nil, 0, 0, false, nil // definitive negative, no I/O
+		}
 	}
 	target := makeIKey(userKey, readSeq, RecordKind(0xFF))
 	// Find the first block whose lastKey >= target.

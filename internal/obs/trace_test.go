@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a deterministic amount on every read, so stage
+// durations are exact and the tests are schedule-independent.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) read() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func newTestTracer(reg *Registry, step time.Duration) *Tracer {
+	tr := NewTracer(reg, "twopc.stage")
+	clk := &fakeClock{now: time.Unix(1000, 0), step: step}
+	tr.now = clk.read
+	return tr
+}
+
+// TestTraceStageSequence scripts a committed transaction and checks the
+// exact stage sequence, per-stage durations, and histogram feeding.
+func TestTraceStageSequence(t *testing.T) {
+	reg := NewRegistry()
+	tc := newTestTracer(reg, time.Millisecond)
+	tr := tc.Begin("tx-1", StageBegin)
+	tr.Enter(StageExecute)
+	tr.Enter(StageExecute) // per-op re-entry collapses
+	tr.Enter(StageExecute)
+	tr.Enter(StagePrepare)
+	tr.Enter(StageLogForce)
+	tr.Enter(StageStabilize)
+	tr.Enter(StageCommit)
+	tr.Enter(StageReclaim)
+	tr.Finish(OutcomeCommitted, "")
+
+	want := []Stage{StageBegin, StageExecute, StagePrepare, StageLogForce,
+		StageStabilize, StageCommit, StageReclaim}
+	got := tr.Stages()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("stages = %v, want %v", got, want)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Duration <= 0 {
+			t.Fatalf("stage %s has non-positive duration %v", sp.Stage, sp.Duration)
+		}
+	}
+	if out, reason := tr.Outcome(); out != OutcomeCommitted || reason != "" {
+		t.Fatalf("outcome = %q/%q", out, reason)
+	}
+	if tr.Total() <= 0 {
+		t.Fatal("total duration must be positive")
+	}
+	s := reg.Snapshot()
+	for _, st := range want {
+		h, ok := s.Histograms["twopc.stage."+string(st)]
+		if !ok || h.Count != 1 {
+			t.Fatalf("stage histogram %s missing or wrong count: %+v", st, h)
+		}
+	}
+	recent := tc.Recent()
+	if len(recent) != 1 || recent[0].ID() != "tx-1" {
+		t.Fatalf("recent = %v", recent)
+	}
+}
+
+// TestTraceAbortAndRecovery checks an aborted transaction records its
+// abort reason and a recovery replay records its recovery path.
+func TestTraceAbortAndRecovery(t *testing.T) {
+	reg := NewRegistry()
+	tc := newTestTracer(reg, time.Millisecond)
+
+	ab := tc.Begin("tx-2", StageBegin)
+	ab.Enter(StageExecute)
+	ab.Enter(StagePrepare)
+	ab.Enter(StageAbort)
+	ab.Finish(OutcomeAborted, "prepare_failed")
+	if out, reason := ab.Outcome(); out != OutcomeAborted || reason != "prepare_failed" {
+		t.Fatalf("abort outcome = %q/%q", out, reason)
+	}
+	wantAb := []Stage{StageBegin, StageExecute, StagePrepare, StageAbort}
+	if fmt.Sprint(ab.Stages()) != fmt.Sprint(wantAb) {
+		t.Fatalf("abort stages = %v, want %v", ab.Stages(), wantAb)
+	}
+
+	rec := tc.Begin("tx-3", StageRecover)
+	rec.Enter(StageCommit)
+	rec.Finish(OutcomeRecovered, "repush_commit")
+	if out, reason := rec.Outcome(); out != OutcomeRecovered || reason != "repush_commit" {
+		t.Fatalf("recovery outcome = %q/%q", out, reason)
+	}
+	s := reg.Snapshot()
+	if s.Histograms["twopc.stage.abort"].Count != 1 {
+		t.Fatal("abort stage not recorded")
+	}
+	if s.Histograms["twopc.stage.recover"].Count != 1 {
+		t.Fatal("recover stage not recorded")
+	}
+
+	recent := tc.Recent()
+	if len(recent) != 2 || recent[0].ID() != "tx-2" || recent[1].ID() != "tx-3" {
+		t.Fatalf("recent order wrong: %v, %v", recent[0].ID(), recent[1].ID())
+	}
+}
+
+// TestTraceAfterFinish: Enter/Finish after Finish are no-ops.
+func TestTraceAfterFinish(t *testing.T) {
+	tc := newTestTracer(NewRegistry(), time.Millisecond)
+	tr := tc.Begin("tx-4", StageBegin)
+	tr.Finish(OutcomeCommitted, "")
+	n := len(tr.Spans())
+	tr.Enter(StageCommit)
+	tr.Finish(OutcomeAborted, "late")
+	if len(tr.Spans()) != n {
+		t.Fatal("Enter after Finish must not add spans")
+	}
+	if out, _ := tr.Outcome(); out != OutcomeCommitted {
+		t.Fatal("Finish after Finish must not overwrite outcome")
+	}
+}
+
+// TestTracerRetentionRing: the ring keeps only the newest tracerRetain
+// traces, oldest first.
+func TestTracerRetentionRing(t *testing.T) {
+	tc := newTestTracer(NewRegistry(), time.Microsecond)
+	total := tracerRetain + 10
+	for i := 0; i < total; i++ {
+		tr := tc.Begin(fmt.Sprintf("tx-%d", i), StageBegin)
+		tr.Finish(OutcomeCommitted, "")
+	}
+	recent := tc.Recent()
+	if len(recent) != tracerRetain {
+		t.Fatalf("retained %d, want %d", len(recent), tracerRetain)
+	}
+	if recent[0].ID() != fmt.Sprintf("tx-%d", total-tracerRetain) {
+		t.Fatalf("oldest retained = %s", recent[0].ID())
+	}
+	if recent[len(recent)-1].ID() != fmt.Sprintf("tx-%d", total-1) {
+		t.Fatalf("newest retained = %s", recent[len(recent)-1].ID())
+	}
+}
+
+// TestTracerConcurrent drives many traces from many goroutines under
+// -race: the per-stage histograms must account for every trace.
+func TestTracerConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	tc := NewTracer(reg, "twopc.stage")
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr := tc.Begin(fmt.Sprintf("w%d-%d", w, i), StageBegin)
+				tr.Enter(StageExecute)
+				tr.Enter(StagePrepare)
+				tr.Enter(StageCommit)
+				tr.Finish(OutcomeCommitted, "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	for _, st := range []Stage{StageBegin, StageExecute, StagePrepare, StageCommit} {
+		if got := s.Histograms["twopc.stage."+string(st)].Count; got != workers*per {
+			t.Fatalf("stage %s count = %d, want %d", st, got, workers*per)
+		}
+	}
+	if got := len(tc.Recent()); got != tracerRetain {
+		t.Fatalf("recent = %d, want full ring %d", got, tracerRetain)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"treaty/internal/erpc"
 	"treaty/internal/lsm"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 )
 
@@ -53,6 +54,55 @@ type Coordinator struct {
 	// unpushed transactions recovered from the Clog, so RecoverPending
 	// can re-instruct them.
 	decidedParts map[lsm.TxID][]string
+
+	tracer *obs.Tracer
+	met    coordMetrics
+}
+
+// coordMetrics aggregates the coordinator's counters. All fields are
+// nil-safe no-ops when no registry is configured. The transaction
+// counters obey the conservation law the chaos soak asserts:
+//
+//	begun == committed + aborted + inflight
+//
+// Recovery-driven replays (RecoverPending) deliberately touch none of
+// these: they re-drive transactions that were already counted (or that
+// belonged to a previous boot's registry), so counting them again would
+// break the law. They are visible through the recover.* counters and
+// the "recover" stage traces instead.
+type coordMetrics struct {
+	begun, committed, aborted *obs.Counter
+	inflight                  *obs.Gauge
+
+	// aborts by reason
+	abortPrepareFailed *obs.Counter // a participant voted no or timed out
+	abortLogAppend     *obs.Counter // Clog append failed
+	abortStabilize     *obs.Counter // decision never became rollback-protected
+	abortClient        *obs.Counter // explicit Rollback
+
+	// recovery resolutions
+	recoverRedo         *obs.Counter // prepare re-executed after crash
+	recoverRepushCommit *obs.Counter
+	recoverRepushAbort  *obs.Counter
+
+	stabilizeWait *obs.Histogram // time spent in waitToken
+}
+
+func newCoordMetrics(m *obs.Registry) coordMetrics {
+	return coordMetrics{
+		begun:               m.Counter("twopc.tx.begun"),
+		committed:           m.Counter("twopc.tx.committed"),
+		aborted:             m.Counter("twopc.tx.aborted"),
+		inflight:            m.Gauge("twopc.tx.inflight"),
+		abortPrepareFailed:  m.Counter("twopc.abort.prepare_failed"),
+		abortLogAppend:      m.Counter("twopc.abort.log_append"),
+		abortStabilize:      m.Counter("twopc.abort.stabilize_timeout"),
+		abortClient:         m.Counter("twopc.abort.client_rollback"),
+		recoverRedo:         m.Counter("twopc.recover.redo_prepare"),
+		recoverRepushCommit: m.Counter("twopc.recover.repush_commit"),
+		recoverRepushAbort:  m.Counter("twopc.recover.repush_abort"),
+		stabilizeWait:       m.Histogram("twopc.stabilize.wait_ns"),
+	}
 }
 
 // CoordinatorConfig configures a Coordinator.
@@ -73,6 +123,10 @@ type CoordinatorConfig struct {
 	StabilizeTimeout time.Duration
 	// Recovered seeds protocol state from Clog replay (may be nil).
 	Recovered []ClogEntry
+	// Metrics, when non-nil, exports transaction counters under
+	// "twopc.*" and per-stage 2PC latency histograms under
+	// "twopc.stage.*".
+	Metrics *obs.Registry
 }
 
 // NewCoordinator creates a coordinator and registers its status handler.
@@ -86,7 +140,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		decisions:    make(map[lsm.TxID]bool),
 		prepared:     make(map[lsm.TxID][]string),
 		decidedParts: make(map[lsm.TxID][]string),
+		tracer:       obs.NewTracer(cfg.Metrics, "twopc.stage"),
+		met:          newCoordMetrics(cfg.Metrics),
 	}
+	cfg.Metrics.GaugeFunc("twopc.coord.prepared", func() int64 {
+		return int64(c.PreparedCount())
+	})
 	if c.timeout == 0 {
 		c.timeout = 2 * time.Second
 	}
@@ -157,18 +216,50 @@ type DistTxn struct {
 	parts map[string]bool
 	yield func()
 	done  bool
+	// trace follows the transaction through the 2PC stage machine. Nil
+	// for recovery replays — those must not feed the tx.* conservation
+	// counters either (see coordMetrics).
+	trace *obs.Trace
 }
 
 // Begin starts a distributed transaction. yield is invoked while waiting
 // for remote replies (fiber cooperation); may be nil.
 func (c *Coordinator) Begin(yield func()) *DistTxn {
 	seq := c.nextTx.Add(1)
+	c.met.begun.Inc()
+	c.met.inflight.Add(1)
+	id := globalTxID(c.nodeID, seq)
 	return &DistTxn{
 		c:     c,
-		id:    globalTxID(c.nodeID, seq),
+		id:    id,
 		seq:   seq,
 		parts: make(map[string]bool),
 		yield: yield,
+		trace: c.tracer.Begin(txTraceID(id), obs.StageBegin),
+	}
+}
+
+// txTraceID renders a global transaction id as "node.seq" for traces.
+func txTraceID(id lsm.TxID) string {
+	node, seq := splitTxID(id)
+	return fmt.Sprintf("%d.%d", node, seq)
+}
+
+// Tracer exposes the coordinator's stage tracer (tests and treatystat
+// read the recent traces).
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
+
+// finish settles the transaction's outcome in the conservation counters
+// and closes its trace. Called exactly once per client-begun transaction
+// (Commit or Rollback); recovery replays never reach it.
+func (t *DistTxn) finish(committed bool, reason string) {
+	t.c.met.inflight.Add(-1)
+	if committed {
+		t.c.met.committed.Inc()
+		t.trace.Finish(obs.OutcomeCommitted, reason)
+	} else {
+		t.c.met.aborted.Inc()
+		t.trace.Finish(obs.OutcomeAborted, reason)
 	}
 }
 
@@ -193,6 +284,7 @@ func (t *DistTxn) call(addr string, reqType uint8, key, value []byte) ([]byte, e
 	payload = append(payload, key...)
 	payload = append(payload, value...)
 	t.parts[addr] = true
+	t.trace.Enter(obs.StageExecute) // collapses across per-op calls
 	return erpc.Call(t.c.ep, addr, reqType, md, payload, t.c.timeout, t.yield)
 }
 
@@ -351,11 +443,15 @@ func (t *DistTxn) Commit() error {
 	t.done = true
 	participants := t.participants()
 	if len(participants) == 0 {
+		t.finish(true, "empty")
 		return nil // no operations
 	}
 
 	// Step 5: prepare phase.
+	t.trace.Enter(obs.StagePrepare)
 	if _, err := t.c.clog.Append(clogPrepare, t.id, false, participants); err != nil {
+		t.c.met.abortLogAppend.Inc()
+		t.finish(false, "prepare_log_failed")
 		return err
 	}
 	t.c.mu.Lock()
@@ -364,7 +460,10 @@ func (t *DistTxn) Commit() error {
 
 	votes, err := t.broadcast(ReqPrepare, participants)
 	if err != nil {
+		t.trace.Enter(obs.StageAbort)
 		t.decide(false, participants)
+		t.c.met.abortPrepareFailed.Inc()
+		t.finish(false, "prepare_failed")
 		return fmt.Errorf("%w: prepare failed: %v", ErrAborted, err)
 	}
 	// Read-only participants voted and released at prepare; only writers
@@ -382,17 +481,26 @@ func (t *DistTxn) Commit() error {
 		t.c.decisions[t.id] = true
 		delete(t.c.prepared, t.id)
 		t.c.mu.Unlock()
+		t.finish(true, "readonly")
 		return nil
 	}
 
 	// Steps 6-7: decide commit, stabilize the decision, then commit.
+	t.trace.Enter(obs.StageLogForce)
 	token, err := t.c.clog.Append(clogDecision, t.id, true, writers)
 	if err != nil {
+		t.trace.Enter(obs.StageAbort)
 		t.decide(false, writers)
+		t.c.met.abortLogAppend.Inc()
+		t.finish(false, "decision_log_failed")
 		return fmt.Errorf("%w: decision log failed: %v", ErrAborted, err)
 	}
+	t.trace.Enter(obs.StageStabilize)
 	if err := t.waitToken(token); err != nil {
+		t.trace.Enter(obs.StageAbort)
 		t.decide(false, writers)
+		t.c.met.abortStabilize.Inc()
+		t.finish(false, "stabilize_timeout")
 		return fmt.Errorf("%w: decision stabilization failed: %v", ErrAborted, err)
 	}
 	t.c.mu.Lock()
@@ -403,7 +511,10 @@ func (t *DistTxn) Commit() error {
 	// The decision is stable: the transaction IS committed even if a
 	// commit message is lost; such a participant resolves at recovery.
 	// Retrying lost pushes here just releases participant locks sooner.
+	t.trace.Enter(obs.StageCommit)
 	_ = t.broadcastRetry(ReqCommit, writers, 3)
+	t.trace.Enter(obs.StageReclaim)
+	t.finish(true, "")
 	return nil
 }
 
@@ -413,7 +524,9 @@ func (t *DistTxn) Commit() error {
 // non-blocking once Ready reports true; it surfaces a permanent
 // counter-service failure as an error.
 func (t *DistTxn) waitToken(token lsm.StableToken) error {
-	deadline := time.Now().Add(t.c.stabTimeout)
+	start := time.Now()
+	defer t.c.met.stabilizeWait.ObserveSince(start)
+	deadline := start.Add(t.c.stabTimeout)
 	spins := 0
 	for !token.Ready() {
 		if time.Now().After(deadline) {
@@ -448,11 +561,15 @@ func (t *DistTxn) Rollback() error {
 		return ErrTxnFinished
 	}
 	t.done = true
+	t.c.met.abortClient.Inc()
 	participants := t.participants()
 	if len(participants) == 0 {
+		t.finish(false, "client_rollback")
 		return nil
 	}
+	t.trace.Enter(obs.StageAbort)
 	t.decide(false, participants)
+	t.finish(false, "client_rollback")
 	return nil
 }
 
@@ -482,12 +599,18 @@ func (c *Coordinator) RecoverPending(yield func()) error {
 
 	for _, w := range work {
 		_, seq := splitTxID(w.id)
+		// Recovery replays intentionally carry no DistTxn trace and never
+		// touch the tx.* conservation counters (coordMetrics); their paths
+		// are recorded via recover.* counters and standalone traces.
 		t := &DistTxn{c: c, id: w.id, seq: seq, parts: map[string]bool{}, yield: yield}
+		tr := c.tracer.Begin(txTraceID(w.id), obs.StageRecover)
 		switch {
 		case w.redo:
 			// Re-execute the prepare phase.
+			c.met.recoverRedo.Inc()
 			if _, err := t.broadcast(ReqPrepare, w.parts); err != nil {
 				t.decide(false, w.parts)
+				tr.Finish(obs.OutcomeRecovered, "redo_prepare_aborted")
 				continue
 			}
 			token, err := c.clog.Append(clogDecision, w.id, true, w.parts)
@@ -502,13 +625,18 @@ func (c *Coordinator) RecoverPending(yield func()) error {
 			delete(c.prepared, w.id)
 			c.mu.Unlock()
 			_ = t.broadcastRetry(ReqCommit, w.parts, 4)
+			tr.Finish(obs.OutcomeRecovered, "redo_prepare")
 		case w.commit:
 			// Re-push commits for decided transactions; participants that
 			// already committed ignore the message.
+			c.met.recoverRepushCommit.Inc()
 			_ = t.broadcastRetry(ReqCommit, w.parts, 4)
+			tr.Finish(obs.OutcomeRecovered, "repush_commit")
 		default:
 			// Decided abort: re-push aborts (also idempotent).
+			c.met.recoverRepushAbort.Inc()
 			_ = t.broadcastRetry(ReqAbort, w.parts, 4)
+			tr.Finish(obs.OutcomeRecovered, "repush_abort")
 		}
 	}
 	return nil

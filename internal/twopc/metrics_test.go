@@ -1,0 +1,221 @@
+package twopc
+
+import (
+	"fmt"
+	"testing"
+
+	"treaty/internal/obs"
+)
+
+// stagesEqual compares an observed stage sequence with the expected one.
+func stagesEqual(got []obs.Stage, want []obs.Stage) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMetricsConservationCleanRun drives a mix of committed, rolled-back
+// and read-only transactions and checks the coordinator conservation law
+// on a quiesced cluster:
+//
+//	twopc.tx.begun == twopc.tx.committed + twopc.tx.aborted
+//	twopc.tx.inflight == 0
+func TestMetricsConservationCleanRun(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	coord := tc.nodes[0].coord
+
+	const commits, rollbacks = 5, 2
+	for n := 0; n < commits; n++ {
+		tx := coord.Begin(nil)
+		for i := 0; i < 6; i++ {
+			if err := tx.Put([]byte(fmt.Sprintf("law-%d-%d", n, i)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < rollbacks; n++ {
+		tx := coord.Begin(nil)
+		if err := tx.Put([]byte(fmt.Sprintf("law-rb-%d", n)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-only transaction: commits via the readonly optimization.
+	ro := coord.Begin(nil)
+	if _, ok := distGet(t, ro, "law-0-0"); !ok {
+		t.Fatal("law-0-0 missing")
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tc.nodes[0].reg.Snapshot()
+	begun := snap.Counter("twopc.tx.begun")
+	committed := snap.Counter("twopc.tx.committed")
+	aborted := snap.Counter("twopc.tx.aborted")
+	inflight := snap.Gauge("twopc.tx.inflight")
+	if begun != commits+rollbacks+1 {
+		t.Errorf("begun = %d, want %d", begun, commits+rollbacks+1)
+	}
+	if begun != committed+aborted {
+		t.Errorf("conservation violated: begun %d != committed %d + aborted %d",
+			begun, committed, aborted)
+	}
+	if inflight != 0 {
+		t.Errorf("inflight = %d after quiesce, want 0", inflight)
+	}
+	if got := snap.Counter("twopc.abort.client_rollback"); got != rollbacks {
+		t.Errorf("abort.client_rollback = %d, want %d", got, rollbacks)
+	}
+
+	// Every committed read-write transaction must have passed through the
+	// full stage machine: the per-stage histograms are non-empty and the
+	// stabilization wait was measured.
+	for _, stage := range []string{
+		"twopc.stage.begin", "twopc.stage.execute", "twopc.stage.prepare",
+		"twopc.stage.log-force", "twopc.stage.counter-stabilize",
+		"twopc.stage.commit", "twopc.stage.reclaim",
+	} {
+		h, ok := snap.Histograms[stage]
+		if !ok || h.Count < commits {
+			t.Errorf("histogram %s count = %d, want >= %d", stage, h.Count, commits)
+		}
+	}
+	if h := snap.Histograms["twopc.stabilize.wait_ns"]; h.Count < commits {
+		t.Errorf("stabilize.wait_ns count = %d, want >= %d", h.Count, commits)
+	}
+
+	// Participant side: every prepare was resolved once the cluster
+	// quiesced. ABORT also lands on participants that executed ops but
+	// never voted (client rollback), so aborts can exceed prepares-noes:
+	// the invariant is commits + aborts >= prepares, not equality.
+	var prepares, pCommits, pAborts, roVotes uint64
+	for _, nd := range tc.nodes {
+		s := nd.reg.Snapshot()
+		prepares += s.Counter("twopc.part.prepares")
+		pCommits += s.Counter("twopc.part.commits")
+		pAborts += s.Counter("twopc.part.aborts")
+		roVotes += s.Counter("twopc.part.readonly_votes")
+	}
+	if prepares == 0 || pCommits == 0 {
+		t.Errorf("participant prepares/commits = %d/%d, want > 0", prepares, pCommits)
+	}
+	if pCommits+pAborts < prepares {
+		t.Errorf("unresolved prepares: prepares %d > commits %d + aborts %d",
+			prepares, pCommits, pAborts)
+	}
+	if roVotes == 0 {
+		t.Errorf("readonly_votes = 0, want > 0 (read-only txn ran)")
+	}
+}
+
+// TestStageTraceSequences checks the exact stage sequences recorded by
+// the coordinator's tracer for a committed and a rolled-back transaction.
+func TestStageTraceSequences(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	coord := tc.nodes[0].coord
+
+	tx := coord.Begin(nil)
+	for i := 0; i < 12; i++ {
+		if err := tx.Put([]byte(fmt.Sprintf("tr-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rb := coord.Begin(nil)
+	if err := rb.Put([]byte("tr-rb"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	recent := coord.Tracer().Recent()
+	if len(recent) != 2 {
+		t.Fatalf("Recent() len = %d, want 2", len(recent))
+	}
+	commitTr, abortTr := recent[0], recent[1]
+
+	wantCommit := []obs.Stage{
+		obs.StageBegin, obs.StageExecute, obs.StagePrepare,
+		obs.StageLogForce, obs.StageStabilize, obs.StageCommit,
+		obs.StageReclaim,
+	}
+	if got := commitTr.Stages(); !stagesEqual(got, wantCommit) {
+		t.Errorf("commit stages = %v, want %v", got, wantCommit)
+	}
+	if outcome, reason := commitTr.Outcome(); outcome != obs.OutcomeCommitted || reason != "" {
+		t.Errorf("commit outcome = %q/%q, want committed", outcome, reason)
+	}
+
+	wantAbort := []obs.Stage{obs.StageBegin, obs.StageExecute, obs.StageAbort}
+	if got := abortTr.Stages(); !stagesEqual(got, wantAbort) {
+		t.Errorf("abort stages = %v, want %v", got, wantAbort)
+	}
+	if outcome, reason := abortTr.Outcome(); outcome != obs.OutcomeAborted || reason != "client_rollback" {
+		t.Errorf("abort outcome = %q/%q, want aborted/client_rollback", outcome, reason)
+	}
+}
+
+// TestRecoveryMetricsExcludedFromTxLaw crashes a coordinator after a
+// committed transaction and checks that recovery work is visible through
+// twopc.recover.* counters and "recover" traces, but never re-enters the
+// tx.begun/committed/aborted conservation law (the transaction already
+// counted on the crashed incarnation).
+func TestRecoveryMetricsExcludedFromTxLaw(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	coordNode := tc.nodes[0]
+
+	tx := coordNode.coord.Begin(nil)
+	for i := 0; i < 9; i++ {
+		if err := tx.Put([]byte(fmt.Sprintf("recm-%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	addr, dir := coordNode.addr, coordNode.dir
+	tc.crashNode(0)
+
+	nd := tc.restartNode(0, addr, dir)
+	if err := nd.coord.RecoverPending(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := nd.reg.Snapshot()
+	if got := snap.Counter("twopc.recover.repush_commit"); got != 1 {
+		t.Errorf("recover.repush_commit = %d, want 1", got)
+	}
+	// Fresh incarnation, no new client transactions: the tx law counters
+	// must all be untouched by the recovery replay.
+	for _, name := range []string{"twopc.tx.begun", "twopc.tx.committed", "twopc.tx.aborted"} {
+		if got := snap.Counter(name); got != 0 {
+			t.Errorf("%s = %d after recovery-only boot, want 0", name, got)
+		}
+	}
+
+	recent := nd.coord.Tracer().Recent()
+	if len(recent) != 1 {
+		t.Fatalf("Recent() len = %d, want 1 recovery trace", len(recent))
+	}
+	if outcome, reason := recent[0].Outcome(); outcome != obs.OutcomeRecovered || reason != "repush_commit" {
+		t.Errorf("recovery trace outcome = %q/%q, want recovered/repush_commit", outcome, reason)
+	}
+	if got := recent[0].Stages(); !stagesEqual(got, []obs.Stage{obs.StageRecover}) {
+		t.Errorf("recovery trace stages = %v, want [recover]", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"treaty/internal/erpc"
 	"treaty/internal/fibers"
 	"treaty/internal/lsm"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/txn"
 )
@@ -41,6 +42,36 @@ type Participant struct {
 	janitorStop chan struct{}
 	janitorWG   sync.WaitGroup
 	stopOnce    sync.Once
+
+	met partMetrics
+}
+
+// partMetrics counts the participant side of the protocol (all nil-safe
+// no-ops without a registry).
+type partMetrics struct {
+	prepares      *obs.Counter // fresh yes-votes (durably prepared)
+	prepareNoes   *obs.Counter // no-votes (unknown txn, prepare failure)
+	readonlyVotes *obs.Counter // read-only optimization releases
+	commits       *obs.Counter // prepared transactions committed
+	aborts        *obs.Counter // transactions aborted on instruction
+	reclaims      *obs.Counter // janitor-reclaimed idle transactions
+	restored      *obs.Counter // prepared transactions restored from WAL
+	resolvedOK    *obs.Counter // recovery resolutions: commit
+	resolvedAbort *obs.Counter // recovery resolutions: abort
+}
+
+func newPartMetrics(m *obs.Registry) partMetrics {
+	return partMetrics{
+		prepares:      m.Counter("twopc.part.prepares"),
+		prepareNoes:   m.Counter("twopc.part.prepare_noes"),
+		readonlyVotes: m.Counter("twopc.part.readonly_votes"),
+		commits:       m.Counter("twopc.part.commits"),
+		aborts:        m.Counter("twopc.part.aborts"),
+		reclaims:      m.Counter("twopc.part.reclaims"),
+		restored:      m.Counter("twopc.part.restored"),
+		resolvedOK:    m.Counter("twopc.part.resolved_commit"),
+		resolvedAbort: m.Counter("twopc.part.resolved_abort"),
+	}
 }
 
 // activeTxn is one in-flight local transaction.
@@ -62,6 +93,9 @@ type ParticipantConfig struct {
 	Scheduler *fibers.Scheduler
 	// IdleTimeout aborts transactions with no activity (0 = 30s).
 	IdleTimeout time.Duration
+	// Metrics, when non-nil, exports participant counters under
+	// "twopc.part.*".
+	Metrics *obs.Registry
 }
 
 // NewParticipant registers the participant's handlers on the endpoint.
@@ -74,10 +108,14 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 		reclaimed:   make(map[lsm.TxID]time.Time),
 		idleTimeout: cfg.IdleTimeout,
 		janitorStop: make(chan struct{}),
+		met:         newPartMetrics(cfg.Metrics),
 	}
 	if p.idleTimeout == 0 {
 		p.idleTimeout = 30 * time.Second
 	}
+	cfg.Metrics.GaugeFunc("twopc.part.active", func() int64 {
+		return int64(p.ActiveCount())
+	})
 	p.ep.Register(ReqTxnGet, p.onFiber(p.handleGet))
 	p.ep.Register(ReqTxnPut, p.onFiber(p.handlePut))
 	p.ep.Register(ReqTxnDelete, p.onFiber(p.handleDelete))
@@ -260,6 +298,7 @@ func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
 		// Nothing to prepare here: the coordinator believed we were
 		// involved but we have no state (e.g. crash wiped an unprepared
 		// transaction). Vote no.
+		p.met.prepareNoes.Inc()
 		req.ReplyError("twopc: unknown transaction at prepare")
 		return
 	}
@@ -276,16 +315,19 @@ func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
 		// not to send us a decision.
 		_ = at.local.Rollback()
 		p.drop(id)
+		p.met.readonlyVotes.Inc()
 		req.Reply([]byte{voteReadOnly})
 		return
 	}
 	if err := at.local.Prepare(id); err != nil {
 		_ = at.local.Rollback()
 		p.drop(id)
+		p.met.prepareNoes.Inc()
 		req.ReplyError(err.Error())
 		return
 	}
 	at.prepared = true
+	p.met.prepares.Inc()
 	req.Reply([]byte{voteYes})
 }
 
@@ -312,6 +354,7 @@ func (p *Participant) handleCommit(f *fibers.Fiber, req *erpc.Request) {
 		return
 	}
 	p.drop(id)
+	p.met.commits.Inc()
 	req.Reply(nil)
 }
 
@@ -333,6 +376,7 @@ func (p *Participant) handleAbort(f *fibers.Fiber, req *erpc.Request) {
 		err = at.local.Rollback()
 	}
 	p.drop(id)
+	p.met.aborts.Inc()
 	if err != nil {
 		req.ReplyError(err.Error())
 		return
@@ -370,6 +414,7 @@ func (p *Participant) janitor() {
 			}
 		}
 		p.mu.Unlock()
+		p.met.reclaims.Add(uint64(len(stale)))
 		for _, at := range stale {
 			at.mu.Lock()
 			_ = at.local.Rollback()
@@ -390,6 +435,7 @@ func (p *Participant) RestorePrepared(pending []lsm.PreparedTx) error {
 		p.mu.Lock()
 		p.active[pt.ID] = &activeTxn{local: local, id: pt.ID, prepared: true, last: time.Now()}
 		p.mu.Unlock()
+		p.met.restored.Inc()
 	}
 	return nil
 }
@@ -451,6 +497,7 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 					return err
 				}
 				p.drop(at.id)
+				p.met.resolvedOK.Inc()
 				resolved = true
 			case StatusAbort:
 				at.mu.Lock()
@@ -460,6 +507,7 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 					return err
 				}
 				p.drop(at.id)
+				p.met.resolvedAbort.Inc()
 				resolved = true
 			default:
 				// Pending: coordinator recovery will push a decision; the

@@ -12,6 +12,7 @@ import (
 	"treaty/internal/erpc"
 	"treaty/internal/fibers"
 	"treaty/internal/lsm"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/simnet"
 	"treaty/internal/txn"
@@ -31,6 +32,7 @@ type testNode struct {
 	ep     *erpc.Endpoint
 	poller *erpc.Poller
 	sched  *fibers.Scheduler
+	reg    *obs.Registry
 }
 
 // testCluster is an N-node cluster.
@@ -116,10 +118,12 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	if err != nil {
 		tc.t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
 	ep, err := erpc.NewEndpoint(erpc.Config{
 		NodeID:    id,
 		Transport: erpc.NewSimTransport(nep, nil, erpc.KindDPDK),
 		Secure:    true, NetworkKey: tc.key,
+		Metrics: reg,
 	})
 	if err != nil {
 		tc.t.Fatal(err)
@@ -127,6 +131,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	db, err := lsm.Open(lsm.Options{
 		Dir: dir, Level: seal.LevelEncrypted, Key: tc.key,
 		Counters: tc.ctrs.factory(addr),
+		Metrics:  reg,
 	})
 	if err != nil {
 		tc.t.Fatal(err)
@@ -135,6 +140,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	sched := fibers.New(4, nil)
 	part := NewParticipant(ParticipantConfig{
 		Manager: mgr, Endpoint: ep, Scheduler: sched, IdleTimeout: 5 * time.Second,
+		Metrics: reg,
 	})
 	clogCtr := tc.ctrs.factory(addr)("CLOG-000001")
 	clog, recovered, err := OpenClog(dir, seal.LevelEncrypted, tc.key, nil, clogCtr, int64(clogCtr.StableValue()))
@@ -144,6 +150,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	coord := NewCoordinator(CoordinatorConfig{
 		NodeID: id, Endpoint: ep, Clog: clog, Router: tc.router,
 		Timeout: 3 * time.Second, Recovered: recovered,
+		Metrics: reg,
 	})
 	if err := part.RestorePrepared(db.RecoveredPrepared()); err != nil {
 		tc.t.Fatal(err)
@@ -151,6 +158,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	nd := &testNode{
 		id: id, addr: addr, dir: dir, db: db, mgr: mgr,
 		part: part, coord: coord, clog: clog, ep: ep, sched: sched,
+		reg: reg,
 	}
 	nd.poller = erpc.StartPoller(ep)
 	return nd
