@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race test-race chaos soak-metrics vet
+.PHONY: build test race test-race chaos soak-metrics soak-disk crashpoint vet
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,10 @@ race:
 	$(GO) vet ./... && $(GO) test -race -short ./internal/erpc/... ./internal/twopc/... ./internal/chaos/...
 
 # Race-detector pass over the observability layer and everything that
-# feeds it (metrics registry, RPC, 2PC, chaos invariants).
+# feeds it (metrics registry, RPC, 2PC, chaos invariants), plus the
+# filesystem fault layer and crash-point harness.
 test-race:
-	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/...
+	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/... ./internal/vfs/...
 
 # Full 20-round chaos soak with per-round logging.
 chaos:
@@ -26,6 +27,17 @@ chaos:
 # the final cluster metrics snapshot printed (verbose logs carry it).
 soak-metrics:
 	$(GO) test -v -run 'TestChaosSoak|TestMetricLawViolationDetected' ./internal/chaos/
+
+# Full 12-round disk-adversity soak: slow device, ENOSPC, fsync failures
+# (fsyncgate), read-side bit rot, and boot-from-corruption refusal.
+soak-disk:
+	$(GO) test -v -run TestChaosSoakDisk ./internal/chaos/
+
+# Crash-point harness: power-cut after every durable write site
+# (WAL/SSTable/MANIFEST/counter/Clog) at all three security levels,
+# reboot each image, and check the recovery invariants.
+crashpoint:
+	$(GO) test -v -run TestCrashPoint ./internal/vfs/crashtest/
 
 vet:
 	$(GO) vet ./...

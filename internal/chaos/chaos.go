@@ -19,6 +19,7 @@ import (
 	"treaty/internal/core"
 	"treaty/internal/obs"
 	"treaty/internal/twopc"
+	"treaty/internal/vfs"
 )
 
 // Config tunes a soak run. The zero value of every field selects a
@@ -54,6 +55,17 @@ type Config struct {
 	Seed int64
 	// Logf receives progress lines (nil = discard).
 	Logf func(format string, args ...any)
+	// DiskFaults interposes a fault-injecting filesystem under every
+	// node's durable writes so DiskFaultScript rounds (slow disk, ENOSPC,
+	// fsync failure, bit rot) can drive it. The injector survives node
+	// restarts, so its cumulative fault counters span incarnations.
+	DiskFaults bool
+	// MemTableSize overrides the flush threshold; disk-fault runs set it
+	// small so rounds actually reach the SSTable read/write paths.
+	MemTableSize int64
+	// ClogSync enables per-append Clog fsync (the crash-model soak needs
+	// acknowledged coordinator records to be power-cut durable).
+	ClogSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +127,9 @@ type Harness struct {
 	cluster *core.Cluster
 	adv     *chaosAdversary
 	rng     *rand.Rand
+	// fsByNode holds each node's disk-fault injector (nil without
+	// Config.DiskFaults). Indexed by node id; shared across restarts.
+	fsByNode []*vfs.FaultFS
 
 	// nodesMu guards live-node access: workers take the read side to
 	// pick a coordinator; crash/restart take the write side.
@@ -129,13 +144,26 @@ type Harness struct {
 // New boots a cluster and seeds the accounts.
 func New(cfg Config) (*Harness, error) {
 	cfg = cfg.withDefaults()
+	var fsByNode []*vfs.FaultFS
+	var nodeFS func(i int) vfs.FS
+	if cfg.DiskFaults {
+		fsByNode = make([]*vfs.FaultFS, cfg.Nodes)
+		for i := range fsByNode {
+			fsByNode[i] = vfs.NewFaultFS(vfs.OS{})
+			fsByNode[i].Seed(cfg.Seed + int64(i))
+		}
+		nodeFS = func(i int) vfs.FS { return fsByNode[i] }
+	}
 	cluster, err := core.NewCluster(core.ClusterOptions{
-		Nodes:       cfg.Nodes,
-		Mode:        cfg.Mode,
-		LockTimeout: cfg.LockTimeout,
-		TxnTimeout:  cfg.TxnTimeout,
-		IdleTimeout: cfg.IdleTimeout,
-		Seed:        cfg.Seed,
+		Nodes:        cfg.Nodes,
+		Mode:         cfg.Mode,
+		LockTimeout:  cfg.LockTimeout,
+		TxnTimeout:   cfg.TxnTimeout,
+		IdleTimeout:  cfg.IdleTimeout,
+		MemTableSize: cfg.MemTableSize,
+		Seed:         cfg.Seed,
+		NodeFS:       nodeFS,
+		ClogSync:     cfg.ClogSync,
 	})
 	if err != nil {
 		return nil, err
@@ -147,6 +175,7 @@ func New(cfg Config) (*Harness, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		committed: make([]uint64, cfg.Workers),
 		aborted:   make([]uint64, cfg.Workers),
+		fsByNode:  fsByNode,
 	}
 	cluster.Net().SetAdversary(h.adv)
 	if err := h.seedAccounts(); err != nil {
@@ -161,6 +190,14 @@ func (h *Harness) Close() error { return h.cluster.Stop() }
 
 // Cluster exposes the underlying cluster (faults manipulate it).
 func (h *Harness) Cluster() *core.Cluster { return h.cluster }
+
+// NodeFS returns node i's disk-fault injector (nil without DiskFaults).
+func (h *Harness) NodeFS(i int) *vfs.FaultFS {
+	if h.fsByNode == nil {
+		return nil
+	}
+	return h.fsByNode[i]
+}
 
 func accountKey(i int) []byte { return []byte(fmt.Sprintf("chaos/acct/%04d", i)) }
 func workerKey(i int) []byte  { return []byte(fmt.Sprintf("chaos/worker/%d", i)) }

@@ -136,6 +136,172 @@ func (f crashRestartFault) Lift(h *Harness) error {
 	return h.restartNode(f.node)
 }
 
+// rebootNode crash-stops a node the safe way (isolate, let in-flight
+// work expire, kill, heal) and restarts it with recovery. Disk faults
+// use it to clear fail-stopped storage state: after a poisoned WAL or a
+// quarantined SSTable, a reboot that re-runs recovery is the designed
+// continuation.
+func rebootNode(h *Harness, node int) error {
+	part := partitionFault{node: node}
+	part.Inject(h)
+	settle := h.cfg.TxnTimeout
+	if h.cfg.LockTimeout > settle {
+		settle = h.cfg.LockTimeout
+	}
+	time.Sleep(settle + 50*time.Millisecond)
+	h.crashNode(node)
+	_ = part.Lift(h)
+	return h.restartNode(node)
+}
+
+// slowDiskFault adds latency to every filesystem operation on one node,
+// modelling a degraded device; commits slow down but nothing may break.
+type slowDiskFault struct{ node int }
+
+func (f slowDiskFault) Name() string { return fmt.Sprintf("slow-disk-node-%d", f.node) }
+func (f slowDiskFault) Inject(h *Harness) {
+	h.NodeFS(f.node).SetOpDelay(1 * time.Millisecond)
+}
+func (f slowDiskFault) Lift(h *Harness) error {
+	h.NodeFS(f.node).SetOpDelay(0)
+	return nil
+}
+
+// enospcFault exhausts one node's write budget mid-round (ENOSPC with a
+// torn final write). The storage layer must fail-stop — no acknowledged
+// commit may be lost — and a reboot with space available recovers.
+type enospcFault struct{ node int }
+
+func (f enospcFault) Name() string { return fmt.Sprintf("enospc-node-%d", f.node) }
+func (f enospcFault) Inject(h *Harness) {
+	h.NodeFS(f.node).SetWriteBudget(4096)
+}
+func (f enospcFault) Lift(h *Harness) error {
+	h.NodeFS(f.node).Reset()
+	return rebootNode(h, f.node)
+}
+
+// syncFailFault makes the next fsyncs on one node fail with fsyncgate
+// semantics (the unsynced tail is dropped). The WAL/Clog must poison
+// themselves and refuse further acknowledgments until a reboot re-runs
+// recovery.
+type syncFailFault struct{ node int }
+
+func (f syncFailFault) Name() string { return fmt.Sprintf("sync-fail-node-%d", f.node) }
+func (f syncFailFault) Inject(h *Harness) {
+	h.NodeFS(f.node).FailNextSyncs(3)
+}
+func (f syncFailFault) Lift(h *Harness) error {
+	h.NodeFS(f.node).Reset()
+	return rebootNode(h, f.node)
+}
+
+// bitRotFault flips bits on a fraction of one node's block reads. Every
+// rotted read that reaches the engine must be *detected* (checksum, hash
+// chain, or AEAD failure → quarantine), never served as data; the lift
+// asserts detection kept up with injection, then reboots to clear the
+// quarantine.
+type bitRotFault struct {
+	node      int
+	rottedAt  uint64
+	injecting bool
+}
+
+func (f *bitRotFault) Name() string { return fmt.Sprintf("bit-rot-node-%d", f.node) }
+
+func (f *bitRotFault) Inject(h *Harness) {
+	fs := h.NodeFS(f.node)
+	f.rottedAt = fs.ReadsRotted()
+	f.injecting = true
+	fs.SetReadRot(0.3, false)
+}
+
+func (f *bitRotFault) Lift(h *Harness) error {
+	fs := h.NodeFS(f.node)
+	fs.Reset()
+	rotted := fs.ReadsRotted() - f.rottedAt
+	if rotted > 0 {
+		// The node is still this incarnation: its corruption counter must
+		// show the engine noticed at least one of the rotted reads.
+		h.nodesMu.RLock()
+		n := h.cluster.Node(f.node)
+		h.nodesMu.RUnlock()
+		if n != nil {
+			if detected := n.Snapshot().Counter("lsm.corruption.detected"); detected == 0 {
+				return fmt.Errorf("chaos: node %d served %d bit-rotted reads with zero detected corruptions",
+					f.node, rotted)
+			}
+		}
+	}
+	return rebootNode(h, f.node)
+}
+
+// rotRebootFault corrupts a crashed node's storage (every read rotted,
+// including whole-file reads of logs and trusted-counter files) and
+// asserts the node REFUSES to boot from it — serving garbage or booting
+// from a rolled-back counter would break every durability guarantee.
+// The rot is then lifted and a clean restart must succeed.
+type rotRebootFault struct{ node int }
+
+func (f rotRebootFault) Name() string { return fmt.Sprintf("rot-detected-at-boot-node-%d", f.node) }
+
+func (f rotRebootFault) Inject(h *Harness) {
+	// Same isolate-settle-kill sequence as a crash-restart round; the
+	// round's traffic runs with the node down.
+	part := partitionFault{node: f.node}
+	part.Inject(h)
+	settle := h.cfg.TxnTimeout
+	if h.cfg.LockTimeout > settle {
+		settle = h.cfg.LockTimeout
+	}
+	time.Sleep(settle + 50*time.Millisecond)
+	h.crashNode(f.node)
+	_ = part.Lift(h)
+}
+
+func (f rotRebootFault) Lift(h *Harness) error {
+	fs := h.NodeFS(f.node)
+	fs.SetReadRot(1, true)
+	h.nodesMu.Lock()
+	_, err := h.cluster.RestartNode(f.node)
+	h.nodesMu.Unlock()
+	if err == nil {
+		fs.Reset()
+		return fmt.Errorf("chaos: node %d booted from fully bit-rotted storage undetected", f.node)
+	}
+	h.cfg.Logf("chaos: node %d refused rotted boot: %v", f.node, err)
+	fs.Reset()
+	return h.restartNode(f.node)
+}
+
+// DiskFaultScript builds the disk-adversity round mix: a slow device, an
+// ENOSPC fail-stop, fsync failures, read-side bit rot, a boot-from-
+// corruption refusal, and a plain network-loss round to keep 2PC
+// pressure in the mix — cycled across nodes. Requires Config.DiskFaults.
+func DiskFaultScript(rounds, nodes int) []Fault {
+	if nodes < 2 {
+		nodes = 2
+	}
+	script := make([]Fault, 0, rounds)
+	for i := 0; len(script) < rounds; i++ {
+		cycle := []Fault{
+			slowDiskFault{node: i % nodes},
+			enospcFault{node: (i + 1) % nodes},
+			syncFailFault{node: (i + 2) % nodes},
+			&bitRotFault{node: i % nodes},
+			lossFault{rate: 0.20},
+			rotRebootFault{node: (i + 1) % nodes},
+		}
+		for _, f := range cycle {
+			if len(script) == rounds {
+				break
+			}
+			script = append(script, f)
+		}
+	}
+	return script
+}
+
 // DefaultScript builds a soak script of the canonical round mix: packet
 // loss, a partition, a coordinator crash-restart, a participant
 // crash-restart, and delay+duplication — cycled for rounds rounds across

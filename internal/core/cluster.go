@@ -15,6 +15,7 @@ import (
 	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/simnet"
+	"treaty/internal/vfs"
 )
 
 // ClusterOptions configures an in-process cluster.
@@ -48,6 +49,13 @@ type ClusterOptions struct {
 	CounterReplicas int
 	// Seed makes the network's randomness reproducible.
 	Seed int64
+	// NodeFS, when set, supplies a per-node filesystem for durable
+	// writes (disk-fault injection). The same FS instance is reused when
+	// the node restarts, so fault state and crash images persist across
+	// a node's incarnations.
+	NodeFS func(i int) vfs.FS
+	// ClogSync enables per-append Clog fsync on every node.
+	ClogSync bool
 }
 
 // Cluster is an in-process Treaty deployment: N nodes, a CAS, an IAS, a
@@ -163,9 +171,15 @@ func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return NodeConfig{}, err
 	}
+	var nfs vfs.FS
+	if c.opts.NodeFS != nil {
+		nfs = c.opts.NodeFS(int(id))
+	}
 	return NodeConfig{
 		ID:                 id,
 		Addr:               addr,
+		FS:                 nfs,
+		ClogSync:           c.opts.ClogSync,
 		Dir:                dir,
 		Mode:               c.opts.Mode,
 		Net:                c.net,

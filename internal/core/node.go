@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"treaty/internal/simnet"
 	"treaty/internal/twopc"
 	"treaty/internal/txn"
+	"treaty/internal/vfs"
 )
 
 // enclaveIdentity is the code identity every genuine Treaty node enclave
@@ -65,6 +65,14 @@ type NodeConfig struct {
 	IdleTimeout time.Duration
 	// MemTableSize overrides the flush threshold (0 = engine default).
 	MemTableSize int64
+	// FS is the filesystem the node's durable writers (LSM, Clog,
+	// trusted counter files) go through; nil uses the real OS. The chaos
+	// and crash-point harnesses substitute fault-injecting filesystems.
+	FS vfs.FS
+	// ClogSync turns on per-append Clog fsync (power-loss durability for
+	// the coordinator log; off by default — see Clog.EnableSync). The
+	// disk-fault harnesses enable it.
+	ClogSync bool
 	// DisableGroupCommit is the group-commit ablation.
 	DisableGroupCommit bool
 	// LockShards overrides the lock-table shard count.
@@ -105,8 +113,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: launching enclave: %w", err)
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.Default
+	}
 	n := &Node{cfg: cfg, encl: encl, rt: encl.Runtime(), reg: obs.NewRegistry()}
 	n.rt.RegisterMetrics(n.reg)
+	// A fault-injecting filesystem carries cumulative fault counters;
+	// export them alongside this incarnation's detection counters so the
+	// soak can assert injected faults are not silently absorbed.
+	if mr, ok := cfg.FS.(interface{ RegisterMetrics(*obs.Registry) }); ok {
+		mr.RegisterMetrics(n.reg)
+	}
 
 	// Trust establishment: attest, receive keys and cluster layout.
 	inst, err := attest.NewInstance(encl, cfg.LAS)
@@ -143,6 +160,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Metrics:    n.reg,
 	})
 	if err != nil {
+		nep.Close()
 		n.sched.Stop()
 		return nil, err
 	}
@@ -150,13 +168,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	// Trusted counter client (stab mode) or immediate counters.
 	counters, err := n.buildCounters(clusterCfg)
 	if err != nil {
-		n.sched.Stop()
+		// The endpoint is already listening: a partial shutdown must
+		// release the address or a retried boot finds it in use.
+		n.shutdownPartial()
 		return nil, err
 	}
 
 	// Storage engine (recovers from cfg.Dir if state exists).
 	n.db, err = lsm.Open(lsm.Options{
 		Dir:                cfg.Dir,
+		FS:                 cfg.FS,
 		Level:              cfg.Mode.StorageLevel(),
 		Key:                clusterCfg.StorageKey,
 		Runtime:            n.rt,
@@ -192,10 +213,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Mode.StorageLevel() > 1 { // integrity or encrypted
 		maxStable = int64(clogCtr.StableValue())
 	}
-	clog, recovered, err := twopc.OpenClog(cfg.Dir, cfg.Mode.StorageLevel(), clusterCfg.StorageKey, n.rt, clogCtr, maxStable)
+	clog, recovered, err := twopc.OpenClog(cfg.FS, cfg.Dir, cfg.Mode.StorageLevel(), clusterCfg.StorageKey, n.rt, clogCtr, maxStable)
 	if err != nil {
 		n.shutdownPartial()
 		return nil, err
+	}
+	if cfg.ClogSync {
+		clog.EnableSync()
+	}
+	if clog.TornTailDropped() {
+		n.reg.Counter("storage.clog.torn_dropped").Inc()
 	}
 	n.clog = clog
 	n.router = RouterFor(clusterCfg.Nodes)
@@ -228,8 +255,9 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 		// purely in-memory counter resets to zero on reboot, and at secure
 		// storage levels recovery would then discard the entire WAL as an
 		// unstabilized tail — losing acknowledged commits.
+		fs := n.cfg.FS
 		ctrDir := filepath.Join(n.cfg.Dir, "counters")
-		if err := os.MkdirAll(ctrDir, 0o755); err != nil {
+		if err := fs.MkdirAll(ctrDir, 0o755); err != nil {
 			return nil, fmt.Errorf("core: counter dir: %w", err)
 		}
 		// Load every persisted counter up front: at secure storage levels
@@ -238,7 +266,7 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 		// and silently lose acknowledged commits. Plain level never checks
 		// freshness, so it may fall back to a volatile counter.
 		secure := n.cfg.Mode.StorageLevel() > seal.LevelNone
-		entries, err := os.ReadDir(ctrDir)
+		entries, err := fs.ReadDir(ctrDir)
 		if err != nil {
 			return nil, fmt.Errorf("core: counter dir: %w", err)
 		}
@@ -247,7 +275,7 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 			if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
 				continue // .tmp: torn atomic-write leftover; the real file is authoritative
 			}
-			c, err := lsm.NewFileCounter(filepath.Join(ctrDir, e.Name()))
+			c, err := lsm.NewFileCounter(fs, filepath.Join(ctrDir, e.Name()))
 			if err != nil {
 				if secure {
 					return nil, fmt.Errorf("core: trusted counter unreadable, refusing to boot (recovery would discard the WAL): %w", err)
@@ -263,7 +291,7 @@ func (n *Node) buildCounters(clusterCfg *attest.ClusterConfig) (lsm.CounterFacto
 			// Not in the cache ⇒ no counter file existed at boot, so there
 			// is no pre-crash stable value to lose; a creation failure here
 			// only costs durability of stabilizations made after it.
-			c, err := lsm.NewFileCounter(filepath.Join(ctrDir, name))
+			c, err := lsm.NewFileCounter(fs, filepath.Join(ctrDir, name))
 			if err != nil {
 				c = lsm.NewImmediateCounter()
 			}

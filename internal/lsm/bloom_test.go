@@ -6,6 +6,7 @@ import (
 
 	"treaty/internal/enclave"
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 func TestBloomBasics(t *testing.T) {
@@ -50,7 +51,7 @@ func TestSSTBloomSkipsAbsentKeys(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(t)
 	rt := enclave.NewNativeRuntime()
-	w, err := newSSTWriter(dir, 1, seal.LevelEncrypted, key, rt)
+	w, err := newSSTWriter(vfs.Default, dir, 1, seal.LevelEncrypted, key, rt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSSTBloomSkipsAbsentKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := openSST(dir, 1, seal.LevelEncrypted, key, rt, meta.footerHash)
+	r, err := openSST(vfs.Default, dir, 1, seal.LevelEncrypted, key, rt, meta.footerHash)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,7 +162,7 @@ func (db *DB) runCompaction(c *compaction) error {
 			num := db.allocFileLocked()
 			db.mu.Unlock()
 			var err error
-			w, err = newSSTWriter(db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt)
+			w, err = newSSTWriter(db.fs, db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt)
 			if err != nil {
 				return err
 			}

@@ -14,6 +14,7 @@ import (
 	"treaty/internal/enclave"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 // CounterFactory supplies the per-log-file trusted counters (§VI: "For
@@ -25,6 +26,10 @@ type CounterFactory func(name string) TrustedCounter
 type Options struct {
 	// Dir is the database directory (created if missing).
 	Dir string
+	// FS is the filesystem the engine writes through; nil uses the real
+	// OS. Tests substitute fault-injecting or in-memory crash-simulating
+	// filesystems (package vfs).
+	FS vfs.FS
 	// Level selects the security level (LevelNone = native RocksDB-like,
 	// LevelIntegrity = Treaty w/o Enc, LevelEncrypted = Treaty w/ Enc).
 	Level seal.SecurityLevel
@@ -62,6 +67,9 @@ type Options struct {
 
 // withDefaults fills in zero fields.
 func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.Default
+	}
 	if o.MemTableSize == 0 {
 		o.MemTableSize = 4 << 20
 	}
@@ -152,6 +160,7 @@ type PreparedTx struct {
 type DB struct {
 	opt Options
 	rt  *enclave.Runtime
+	fs  vfs.FS
 
 	mu       sync.Mutex
 	mem      *memTable
@@ -161,7 +170,11 @@ type DB struct {
 	wal      *wal
 	walCtr   TrustedCounter
 	readers  map[uint64]*sstReader
-	nextFile uint64
+	// quarantined records tables whose reads failed integrity checks;
+	// further reads surface the recorded ErrSSTCorrupt instead of
+	// retrying the damaged file.
+	quarantined map[uint64]error
+	nextFile    uint64
 	lastSeq  atomic.Uint64
 	closed   atomic.Bool
 	bgErr    error
@@ -170,6 +183,11 @@ type DB struct {
 	commitCh chan *commitReq
 	commitWG sync.WaitGroup
 	closedMu sync.RWMutex
+	// commitErr, once set, fails every later commit: the WAL hit a
+	// write/sync failure (its unsynced tail may be gone — fsyncgate) or
+	// its trusted counter can no longer persist. Fail-stop is the only
+	// acknowledgment-safe response; a restart re-runs recovery.
+	commitErr error
 
 	// background flush/compaction
 	bgWork   chan struct{}
@@ -184,6 +202,11 @@ type DB struct {
 
 	// stats
 	flushes, compactions atomic.Uint64
+	// corruptions counts detected storage corruption events: quarantined
+	// tables and crash-torn log tails dropped at recovery. The chaos
+	// soak compares it against the injected-fault counters to assert
+	// detection is not silent.
+	corruptions atomic.Uint64
 
 	// metrics (all nil-safe no-ops when Options.Metrics is nil)
 	walAppends     *obs.Counter
@@ -219,18 +242,20 @@ type commitReq struct {
 // Open opens (or creates) a database.
 func Open(opt Options) (*DB, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lsm: creating dir: %w", err)
 	}
 	db := &DB{
-		opt:      opt,
-		rt:       opt.Runtime,
-		current:  &version{},
-		readers:  make(map[uint64]*sstReader),
-		commitCh: make(chan *commitReq, 1024),
-		bgWork:   make(chan struct{}, 1),
-		bgQuit:   make(chan struct{}),
-		nextFile: 1,
+		opt:         opt,
+		rt:          opt.Runtime,
+		fs:          opt.FS,
+		current:     &version{},
+		readers:     make(map[uint64]*sstReader),
+		quarantined: make(map[uint64]error),
+		commitCh:    make(chan *commitReq, 1024),
+		bgWork:      make(chan struct{}, 1),
+		bgQuit:      make(chan struct{}),
+		nextFile:    1,
 	}
 	if opt.Level == seal.LevelEncrypted {
 		c, err := seal.NewCipher(seal.DeriveKey(opt.Key, "memtable"))
@@ -240,7 +265,7 @@ func Open(opt Options) (*DB, error) {
 		db.memCipher = c
 	}
 
-	if _, err := os.Stat(manifestName(opt.Dir)); errors.Is(err, os.ErrNotExist) {
+	if _, err := db.fs.Stat(manifestName(opt.Dir)); errors.Is(err, os.ErrNotExist) {
 		if err := db.create(); err != nil {
 			return nil, err
 		}
@@ -277,6 +302,7 @@ func (db *DB) registerMetrics() {
 	db.bloomNegatives = m.Counter("lsm.bloom.negatives")
 	m.CounterFunc("lsm.flushes", db.flushes.Load)
 	m.CounterFunc("lsm.compactions", db.compactions.Load)
+	m.CounterFunc("lsm.corruption.detected", db.corruptions.Load)
 	m.GaugeFunc("lsm.wal.appended_lsn", func() int64 {
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -297,7 +323,7 @@ func (db *DB) registerMetrics() {
 
 // create initializes a fresh database.
 func (db *DB) create() error {
-	m, err := createManifest(db.opt.Dir, db.opt.Level, db.opt.Key, db.rt, db.opt.Counters("MANIFEST-000001"))
+	m, err := createManifest(db.fs, db.opt.Dir, db.opt.Level, db.opt.Key, db.rt, db.opt.Counters("MANIFEST-000001"))
 	if err != nil {
 		return err
 	}
@@ -322,7 +348,7 @@ func (db *DB) allocFileLocked() uint64 {
 // newWALLocked rotates in a fresh WAL and memtable for log number num.
 func (db *DB) newWALLocked(num uint64) error {
 	ctr := db.opt.Counters(filepath.Base(walFileName(db.opt.Dir, num)))
-	w, err := createWAL(db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt, ctr)
+	w, err := createWAL(db.fs, db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt, ctr)
 	if err != nil {
 		return err
 	}
@@ -401,11 +427,7 @@ func (db *DB) Get(key []byte, readSeq uint64) (value []byte, seq uint64, found b
 		if bytes.Compare(key, userKeyOf(f.smallest)) < 0 || bytes.Compare(key, userKeyOf(f.largest)) > 0 {
 			continue
 		}
-		r, rerr := db.reader(f)
-		if rerr != nil {
-			return nil, 0, false, rerr
-		}
-		if v, s, k, ok, gerr := r.get(key, readSeq); gerr != nil {
+		if v, s, k, ok, gerr := db.sstGet(f, key, readSeq); gerr != nil {
 			return nil, 0, false, gerr
 		} else if ok {
 			if k == KindDelete {
@@ -423,11 +445,7 @@ func (db *DB) Get(key []byte, readSeq uint64) (value []byte, seq uint64, found b
 		if i >= len(files) || bytes.Compare(key, userKeyOf(files[i].smallest)) < 0 {
 			continue
 		}
-		r, rerr := db.reader(files[i])
-		if rerr != nil {
-			return nil, 0, false, rerr
-		}
-		if v, s, k, ok, gerr := r.get(key, readSeq); gerr != nil {
+		if v, s, k, ok, gerr := db.sstGet(files[i], key, readSeq); gerr != nil {
 			return nil, 0, false, gerr
 		} else if ok {
 			if k == KindDelete {
@@ -440,9 +458,15 @@ func (db *DB) Get(key []byte, readSeq uint64) (value []byte, seq uint64, found b
 }
 
 // reader returns (opening if needed) the cached reader for f, verifying
-// the table against the manifest-recorded hash.
+// the table against the manifest-recorded hash. Tables that previously
+// failed an integrity check are quarantined: the recorded corruption
+// error is surfaced without touching the file again.
 func (db *DB) reader(f fileMeta) (*sstReader, error) {
 	db.mu.Lock()
+	if qerr, bad := db.quarantined[f.number]; bad {
+		db.mu.Unlock()
+		return nil, qerr
+	}
 	r, ok := db.readers[f.number]
 	db.mu.Unlock()
 	if ok {
@@ -452,8 +476,9 @@ func (db *DB) reader(f fileMeta) (*sstReader, error) {
 	if db.opt.Level == seal.LevelNone {
 		want = [seal.HashSize]byte{}
 	}
-	r, err := openSST(db.opt.Dir, f.number, db.opt.Level, db.opt.Key, db.rt, want)
+	r, err := openSST(db.fs, db.opt.Dir, f.number, db.opt.Level, db.opt.Key, db.rt, want)
 	if err != nil {
+		db.noteCorruption(f.number, err)
 		return nil, err
 	}
 	r.bloomChecks, r.bloomNegatives = db.bloomChecks, db.bloomNegatives
@@ -466,6 +491,36 @@ func (db *DB) reader(f fileMeta) (*sstReader, error) {
 	db.readers[f.number] = r
 	db.mu.Unlock()
 	return r, nil
+}
+
+// noteCorruption quarantines table num when err is an integrity failure.
+// The cached reader is dropped without closing (concurrent readers may
+// still hold it; the handle is reclaimed at Close).
+func (db *DB) noteCorruption(num uint64, err error) {
+	if !errors.Is(err, ErrSSTCorrupt) {
+		return
+	}
+	db.mu.Lock()
+	if _, already := db.quarantined[num]; !already {
+		db.quarantined[num] = err
+		db.corruptions.Add(1)
+		delete(db.readers, num)
+	}
+	db.mu.Unlock()
+}
+
+// sstGet reads one key from table f via its cached reader, quarantining
+// the table on an integrity failure.
+func (db *DB) sstGet(f fileMeta, key []byte, readSeq uint64) (value []byte, seq uint64, kind RecordKind, ok bool, err error) {
+	r, rerr := db.reader(f)
+	if rerr != nil {
+		return nil, 0, 0, false, rerr
+	}
+	value, seq, kind, ok, err = r.get(key, readSeq)
+	if err != nil {
+		db.noteCorruption(f.number, err)
+	}
+	return value, seq, kind, ok, err
 }
 
 // submit hands a request to the committer, guarding against Close races.
@@ -541,11 +596,22 @@ func (db *DB) committer() {
 	}
 }
 
-// commitGroup executes one commit group.
+// commitGroup executes one commit group. The commit path is fail-stop:
+// once a WAL write/sync failure or counter persist failure is observed,
+// every later commit fails fast with the sticky error — acknowledging
+// past a durability hole would be a silent-loss bug.
 func (db *DB) commitGroup(group []*commitReq) {
 	db.groupSizes.Observe(int64(len(group)))
 	db.mu.Lock()
 	results := make([]commitRes, len(group))
+	if db.commitErr != nil {
+		err := db.commitErr
+		db.mu.Unlock()
+		for _, req := range group {
+			req.done <- commitRes{err: err}
+		}
+		return
+	}
 	var maxCtr uint64
 	for i, req := range group {
 		var payload []byte
@@ -566,12 +632,15 @@ func (db *DB) commitGroup(group []*commitReq) {
 		maxCtr = ctr
 		results[i] = commitRes{token: StableToken{ctr: db.walCtr, value: ctr}}
 	}
+	syncFailed := false
 	if db.opt.SyncWAL {
 		syncStart := time.Now()
 		err := db.wal.sync()
 		db.walSyncs.Inc()
 		db.walSyncLatency.ObserveSince(syncStart)
 		if err != nil {
+			syncFailed = true
+			db.commitErr = db.wal.poisoned
 			for i := range results {
 				if results[i].err == nil {
 					results[i] = commitRes{err: err}
@@ -579,8 +648,41 @@ func (db *DB) commitGroup(group []*commitReq) {
 			}
 		}
 	}
-	if maxCtr > 0 {
+	if db.wal.poisoned != nil && db.commitErr == nil {
+		// An append failed mid-group: the codec chain has a hole, so no
+		// later group may append either.
+		db.commitErr = db.wal.poisoned
+	}
+	if maxCtr > 0 && !syncFailed {
+		// Never stabilize entries whose durability is unknown: after a
+		// failed fsync the tail may be gone, and advancing the trusted
+		// counter past it would turn the loss into a false rollback
+		// alarm (or worse, acknowledged loss) at recovery.
 		db.wal.stabilize(maxCtr)
+		if fc, ok := db.walCtr.(failableCounter); ok {
+			if cerr := fc.Failed(); cerr != nil {
+				// The counter cannot persist: restart-time freshness
+				// checks would discard these entries as an unstabilized
+				// tail, so they must not be acknowledged.
+				db.commitErr = cerr
+				for i := range results {
+					if results[i].err == nil {
+						results[i] = commitRes{err: cerr}
+					}
+				}
+			}
+		}
+	}
+	if db.commitErr != nil {
+		err := db.commitErr
+		db.mu.Unlock()
+		for i, req := range group {
+			if results[i].err == nil {
+				results[i] = commitRes{err: err}
+			}
+			req.done <- results[i]
+		}
+		return
 	}
 	// Apply batches to the memtable under the same critical section so
 	// sequence order matches log order.
@@ -711,6 +813,12 @@ func (db *DB) doBackgroundWork() bool {
 
 // setBGErr records a background failure.
 func (db *DB) setBGErr(err error) {
+	// Corruption detected inside a flush or compaction read counts like a
+	// quarantine: the detected-corruption metric must cover every path
+	// that can observe damaged media, not just foreground Gets.
+	if errors.Is(err, ErrSSTCorrupt) {
+		db.corruptions.Add(1)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.bgErr == nil {
@@ -732,7 +840,7 @@ func (db *DB) flushMemTable(imm *memTable) error {
 	num := db.allocFileLocked()
 	db.mu.Unlock()
 
-	w, err := newSSTWriter(db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt)
+	w, err := newSSTWriter(db.fs, db.opt.Dir, num, db.opt.Level, db.opt.Key, db.rt)
 	if err != nil {
 		return err
 	}
@@ -812,7 +920,7 @@ func (db *DB) deleteObsolete() {
 		if db.rt != nil {
 			db.rt.Syscall()
 		}
-		os.Remove(p)
+		db.fs.Remove(p)
 	}
 }
 

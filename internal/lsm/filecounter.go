@@ -3,10 +3,13 @@ package lsm
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"treaty/internal/vfs"
 )
 
 // fileCounter is a TrustedCounter that stabilizes instantly but persists
@@ -17,25 +20,69 @@ import (
 // discards acknowledged commits. Used by the native (no counter service)
 // modes; the stabilization modes use the replicated counter service.
 type fileCounter struct {
-	mu   sync.Mutex
-	path string
-	v    atomic.Uint64
+	mu     sync.Mutex
+	fs     vfs.FS
+	path   string
+	v      atomic.Uint64
+	failed error
+}
+
+// Counter file format: value (8 bytes LE) ∥ magic (4 bytes) ∥ CRC32 of
+// the first 12 bytes. The checksum makes media corruption of a counter
+// file detectable: an undetected flip that *lowers* the value would make
+// recovery silently discard acknowledged commits as an unstabilized
+// tail, and one that raises it would fail recovery as a false rollback.
+const (
+	counterFileLen   = 16
+	counterFileMagic = 0x54435452 // "TCTR"
+)
+
+// encodeCounterFile serializes v in the checksummed format.
+func encodeCounterFile(v uint64) []byte {
+	b := make([]byte, counterFileLen)
+	binary.LittleEndian.PutUint64(b[0:], v)
+	binary.LittleEndian.PutUint32(b[8:], counterFileMagic)
+	binary.LittleEndian.PutUint32(b[12:], crc32.ChecksumIEEE(b[:12]))
+	return b
+}
+
+// decodeCounterFile parses and verifies a counter file.
+func decodeCounterFile(b []byte) (uint64, error) {
+	if len(b) == 8 {
+		// Legacy pre-checksum format.
+		return binary.LittleEndian.Uint64(b), nil
+	}
+	if len(b) != counterFileLen {
+		return 0, fmt.Errorf("%d bytes, want %d", len(b), counterFileLen)
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != counterFileMagic {
+		return 0, fmt.Errorf("bad magic")
+	}
+	if binary.LittleEndian.Uint32(b[12:]) != crc32.ChecksumIEEE(b[:12]) {
+		return 0, fmt.Errorf("checksum mismatch")
+	}
+	return binary.LittleEndian.Uint64(b), nil
 }
 
 // NewFileCounter opens (or creates) a persistent instant-stability
-// counter backed by the 8-byte file at path. A file that exists but is
-// shorter than 8 bytes is corruption, not an empty counter: treating it
-// as value 0 would make recovery discard the WAL as an unstabilized
-// tail. Stabilize's atomic rename never leaves a short file, so one can
-// only appear through external damage.
-func NewFileCounter(path string) (TrustedCounter, error) {
-	c := &fileCounter{path: path}
-	b, err := os.ReadFile(path)
+// counter backed by the file at path. A file that exists but fails its
+// length or checksum validation is corruption, not an empty counter:
+// treating it as value 0 would make recovery discard the WAL as an
+// unstabilized tail. Stabilize's atomic rename never leaves a torn
+// file, so one can only appear through external damage.
+func NewFileCounter(fs vfs.FS, path string) (TrustedCounter, error) {
+	if fs == nil {
+		fs = vfs.Default
+	}
+	c := &fileCounter{fs: fs, path: path}
+	b, err := fs.ReadFile(path)
 	switch {
-	case err == nil && len(b) >= 8:
-		c.v.Store(binary.LittleEndian.Uint64(b))
 	case err == nil:
-		return nil, fmt.Errorf("lsm: counter %s corrupt: %d bytes, want 8", path, len(b))
+		v, derr := decodeCounterFile(b)
+		if derr != nil {
+			return nil, fmt.Errorf("lsm: counter %s corrupt: %v", path, derr)
+		}
+		c.v.Store(v)
 	case !os.IsNotExist(err):
 		return nil, fmt.Errorf("lsm: reading counter %s: %w", path, err)
 	}
@@ -48,16 +95,18 @@ func NewFileCounter(path string) (TrustedCounter, error) {
 // always holds and recovery never discards an acknowledged entry).
 // Persistence is write-temp + fsync + rename + fsync-dir so a crash at
 // any point leaves either the old value or the new one, never a torn or
-// truncated file.
+// truncated file. A counter that cannot persist must not advance —
+// advancing only in memory would re-open the discard-on-restart hole —
+// so a persist failure fail-stops the counter: Failed/WaitStable report
+// the sticky error and the commit path refuses further acknowledgments.
 func (c *fileCounter) Stabilize(v uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if v <= c.v.Load() {
+	if c.failed != nil || v <= c.v.Load() {
 		return
 	}
 	if err := c.persist(v); err != nil {
-		// A counter that cannot persist must not advance: advancing only
-		// in memory would re-open the discard-on-restart hole.
+		c.failed = fmt.Errorf("lsm: counter %s persist: %w", c.path, err)
 		return
 	}
 	c.v.Store(v)
@@ -65,43 +114,41 @@ func (c *fileCounter) Stabilize(v uint64) {
 
 // persist durably replaces the counter file with v.
 func (c *fileCounter) persist(v uint64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
 	tmp := c.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := c.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err = f.Write(b[:]); err == nil {
+	if _, err = f.Write(encodeCounterFile(v)); err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, c.path)
+		err = c.fs.Rename(tmp, c.path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		c.fs.Remove(tmp)
 		return err
 	}
 	// Sync the directory so the rename itself survives a crash. If this
 	// fails the file already holds v — safe, because the log entry for v
 	// was synced before Stabilize was called — but the in-memory value
 	// must not advance past what is known durable.
-	d, err := os.Open(filepath.Dir(c.path))
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return c.fs.SyncDir(filepath.Dir(c.path))
 }
 
-// WaitStable implements TrustedCounter (stability is immediate).
-func (c *fileCounter) WaitStable(uint64) error { return nil }
+// WaitStable implements TrustedCounter (stability is immediate, unless
+// the counter fail-stopped).
+func (c *fileCounter) WaitStable(uint64) error { return c.Failed() }
 
 // StableValue implements TrustedCounter.
 func (c *fileCounter) StableValue() uint64 { return c.v.Load() }
+
+// Failed implements failableCounter: a persist failure is permanent.
+func (c *fileCounter) Failed() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}

@@ -8,7 +8,7 @@ import (
 
 func TestFileCounterPersistsAcrossReopen(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "WAL-000001")
-	c, err := NewFileCounter(path)
+	c, err := NewFileCounter(nil, path)
 	if err != nil {
 		t.Fatalf("NewFileCounter: %v", err)
 	}
@@ -17,7 +17,7 @@ func TestFileCounterPersistsAcrossReopen(t *testing.T) {
 		t.Fatalf("StableValue = %d, want 42", got)
 	}
 	// Reopen: the stable value must survive the "restart".
-	c2, err := NewFileCounter(path)
+	c2, err := NewFileCounter(nil, path)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -28,7 +28,7 @@ func TestFileCounterPersistsAcrossReopen(t *testing.T) {
 
 func TestFileCounterNeverRegresses(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "WAL-000001")
-	c, err := NewFileCounter(path)
+	c, err := NewFileCounter(nil, path)
 	if err != nil {
 		t.Fatalf("NewFileCounter: %v", err)
 	}
@@ -47,7 +47,7 @@ func TestFileCounterShortFileIsCorruption(t *testing.T) {
 	// A torn/truncated counter file must be reported, not read as 0: a
 	// zero counter makes recovery discard the WAL as an unstabilized
 	// tail, silently losing acknowledged commits.
-	if _, err := NewFileCounter(path); err == nil {
+	if _, err := NewFileCounter(nil, path); err == nil {
 		t.Fatal("NewFileCounter accepted a 3-byte counter file")
 	}
 }
@@ -55,7 +55,7 @@ func TestFileCounterShortFileIsCorruption(t *testing.T) {
 func TestFileCounterStabilizeLeavesNoTempFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "WAL-000001")
-	c, err := NewFileCounter(path)
+	c, err := NewFileCounter(nil, path)
 	if err != nil {
 		t.Fatalf("NewFileCounter: %v", err)
 	}
@@ -64,7 +64,7 @@ func TestFileCounterStabilizeLeavesNoTempFile(t *testing.T) {
 		t.Fatalf("temp file left behind after Stabilize: stat err=%v", err)
 	}
 	b, err := os.ReadFile(path)
-	if err != nil || len(b) != 8 {
-		t.Fatalf("counter file: %d bytes, err=%v; want 8 bytes", len(b), err)
+	if err != nil || len(b) != counterFileLen {
+		t.Fatalf("counter file: %d bytes, err=%v; want %d bytes", len(b), err, counterFileLen)
 	}
 }

@@ -2,13 +2,13 @@ package lsm
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 // Recovery (§VI): the MANIFEST is replayed first — rebuilding the SSTable
@@ -33,12 +33,16 @@ func (db *DB) recover() error {
 	if secure {
 		maxStable = int64(mctr.StableValue())
 	}
-	edits, codec, consumed, err := replayManifest(db.opt.Dir, db.opt.Level, db.opt.Key, db.rt, maxStable)
+	edits, codec, consumed, mtorn, err := replayManifest(db.fs, db.opt.Dir, db.opt.Level, db.opt.Key, db.rt, maxStable)
 	if err != nil {
 		return err
 	}
-	// Drop any unstabilized manifest tail before appending again.
-	if err := os.Truncate(manifestName(db.opt.Dir), consumed); err != nil {
+	if mtorn {
+		db.corruptions.Add(1)
+	}
+	// Drop any unstabilized or crash-torn manifest tail before appending
+	// again.
+	if err := db.fs.Truncate(manifestName(db.opt.Dir), consumed); err != nil {
 		return fmt.Errorf("lsm: truncating manifest: %w", err)
 	}
 
@@ -59,7 +63,7 @@ func (db *DB) recover() error {
 	db.current = v
 	db.lastSeq.Store(lastSeq)
 
-	m, err := openManifestForAppend(db.opt.Dir, codec, db.rt, mctr)
+	m, err := openManifestForAppend(db.fs, db.opt.Dir, codec, db.rt, mctr)
 	if err != nil {
 		return err
 	}
@@ -69,14 +73,14 @@ func (db *DB) recover() error {
 	// lazily on first read against the manifest-recorded index hash).
 	for lv := range v.files {
 		for _, f := range v.files[lv] {
-			if _, err := os.Stat(sstFileName(db.opt.Dir, f.number)); err != nil {
+			if _, err := db.fs.Stat(sstFileName(db.opt.Dir, f.number)); err != nil {
 				return fmt.Errorf("%w: sstable %06d missing", ErrRollbackDetected, f.number)
 			}
 		}
 	}
 
 	// 2. Live WALs, in file-number order.
-	walNums, err := listWALs(db.opt.Dir)
+	walNums, err := listWALs(db.fs, db.opt.Dir)
 	if err != nil {
 		return err
 	}
@@ -105,9 +109,12 @@ func (db *DB) recover() error {
 		if secure {
 			walStable = int64(wctr.StableValue())
 		}
-		entries, werr := readWAL(walFileName(db.opt.Dir, num), db.opt.Level, db.opt.Key, db.rt, walStable)
+		entries, wtorn, werr := readWAL(db.fs, walFileName(db.opt.Dir, num), db.opt.Level, db.opt.Key, db.rt, walStable)
 		if werr != nil {
 			return werr
+		}
+		if wtorn {
+			db.corruptions.Add(1)
 		}
 		mem := newMemTable(db.opt.Level, db.rt, db.memCipher, num)
 		for _, e := range entries {
@@ -185,8 +192,8 @@ func (db *DB) recover() error {
 }
 
 // listWALs returns the wal file numbers in dir, ascending.
-func listWALs(dir string) ([]uint64, error) {
-	des, err := os.ReadDir(dir)
+func listWALs(fs vfs.FS, dir string) ([]uint64, error) {
+	des, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: listing dir: %w", err)
 	}

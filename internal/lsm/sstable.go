@@ -6,13 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"treaty/internal/enclave"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 // SSTable layout (SPEICHER-style authenticated table, §V-A):
@@ -51,6 +51,10 @@ type blockHandle struct {
 	length  uint64
 	lastKey []byte
 	hash    [seal.HashSize]byte
+	// crc is the CRC32 (IEEE) of the stored block bytes. The secure
+	// levels verify the SHA-256 hash instead; below LevelIntegrity the
+	// CRC is the corruption check (RocksDB-style block CRCs).
+	crc uint32
 }
 
 // fileMeta describes one live SSTable.
@@ -65,7 +69,9 @@ type fileMeta struct {
 
 // sstWriter builds one table file.
 type sstWriter struct {
-	f      *os.File
+	f      vfs.File
+	fs     vfs.FS
+	dir    string
 	level  seal.SecurityLevel
 	ciph   *seal.Cipher
 	rt     *enclave.Runtime
@@ -82,12 +88,12 @@ type sstWriter struct {
 }
 
 // newSSTWriter creates a table file for writing.
-func newSSTWriter(dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime) (*sstWriter, error) {
-	f, err := os.OpenFile(sstFileName(dir, number), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+func newSSTWriter(fs vfs.FS, dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime) (*sstWriter, error) {
+	f, err := fs.Create(sstFileName(dir, number))
 	if err != nil {
 		return nil, fmt.Errorf("lsm: creating sstable: %w", err)
 	}
-	w := &sstWriter{f: f, level: level, rt: rt, number: number}
+	w := &sstWriter{f: f, fs: fs, dir: dir, level: level, rt: rt, number: number}
 	if level == seal.LevelEncrypted {
 		ciph, err := seal.NewCipher(seal.DeriveKey(key, fmt.Sprintf("sst/%06d", number)))
 		if err != nil {
@@ -140,6 +146,7 @@ func (w *sstWriter) flushBlock() error {
 		length:  uint64(len(stored)),
 		lastKey: append([]byte(nil), w.lastKey...),
 		hash:    seal.Hash(stored),
+		crc:     crc32.ChecksumIEEE(stored),
 	}
 	if w.rt != nil {
 		w.rt.Syscall()
@@ -161,8 +168,8 @@ func (w *sstWriter) finish() (fileMeta, error) {
 	if err := w.flushBlock(); err != nil {
 		return meta, err
 	}
-	// Index: count, then per block offset/length/keylen/key/hash; then
-	// the table's bloom filter (covered by the index hash).
+	// Index: count, then per block offset/length/keylen/key/hash/crc;
+	// then the table's bloom filter (covered by the index hash).
 	var idx []byte
 	idx = binary.AppendUvarint(idx, uint64(len(w.handles)))
 	for _, h := range w.handles {
@@ -171,6 +178,7 @@ func (w *sstWriter) finish() (fileMeta, error) {
 		idx = binary.AppendUvarint(idx, uint64(len(h.lastKey)))
 		idx = append(idx, h.lastKey...)
 		idx = append(idx, h.hash[:]...)
+		idx = binary.LittleEndian.AppendUint32(idx, h.crc)
 	}
 	filter := w.bloom.build()
 	idx = binary.AppendUvarint(idx, uint64(len(filter)))
@@ -205,6 +213,12 @@ func (w *sstWriter) finish() (fileMeta, error) {
 	if err := w.f.Close(); err != nil {
 		return meta, fmt.Errorf("lsm: sstable close: %w", err)
 	}
+	// Make the table's directory entry durable before the manifest edit
+	// that references it can be written: a post-crash recovery must never
+	// see a manifest pointing at a missing file.
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		return meta, fmt.Errorf("lsm: syncing dir after sstable: %w", err)
+	}
 	meta = fileMeta{
 		number:     w.number,
 		size:       w.offset + uint64(len(idxStored)) + sstFooterLen,
@@ -221,14 +235,14 @@ func (w *sstWriter) empty() bool { return w.nblock == 0 && len(w.handles) == 0 }
 // abort removes a partially written table.
 func (w *sstWriter) abort() {
 	w.f.Close()
-	os.Remove(sstFileName(filepath.Dir(w.f.Name()), w.number))
+	w.fs.Remove(sstFileName(w.dir, w.number))
 }
 
 // sstReader reads one table with integrity verification. Readers verify
 // the index against the manifest-recorded hash at open, and every block
 // against the index hash on access, inside the enclave.
 type sstReader struct {
-	f       *os.File
+	f       vfs.File
 	level   seal.SecurityLevel
 	ciph    *seal.Cipher
 	rt      *enclave.Runtime
@@ -244,8 +258,8 @@ type sstReader struct {
 
 // openSST opens a table and verifies its index against wantHash (from the
 // MANIFEST). A zero wantHash skips the check (native mode).
-func openSST(dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, wantHash [seal.HashSize]byte) (*sstReader, error) {
-	f, err := os.Open(sstFileName(dir, number))
+func openSST(fs vfs.FS, dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, wantHash [seal.HashSize]byte) (*sstReader, error) {
+	f, err := fs.Open(sstFileName(dir, number))
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening sstable: %w", err)
 	}
@@ -339,7 +353,7 @@ func (r *sstReader) readIndex(wantHash [seal.HashSize]byte) error {
 		h.length = v
 		off += c
 		klen, c := binary.Uvarint(idx[off:])
-		if c <= 0 || off+c+int(klen)+seal.HashSize > len(idx) {
+		if c <= 0 || off+c+int(klen)+seal.HashSize+4 > len(idx) {
 			return fmt.Errorf("%w: index entry", ErrSSTCorrupt)
 		}
 		off += c
@@ -347,6 +361,8 @@ func (r *sstReader) readIndex(wantHash [seal.HashSize]byte) error {
 		off += int(klen)
 		copy(h.hash[:], idx[off:])
 		off += seal.HashSize
+		h.crc = binary.LittleEndian.Uint32(idx[off:])
+		off += 4
 		handles = append(handles, h)
 	}
 	r.handles = handles
@@ -377,10 +393,12 @@ func (r *sstReader) readBlock(i int) ([]byte, error) {
 			return nil, fmt.Errorf("%w: block %d hash mismatch", ErrSSTCorrupt, i)
 		}
 	} else {
-		// Native mode still carries the hash in the index; use it as a
-		// crc-grade corruption check to mirror RocksDB block CRCs.
-		if crc32.ChecksumIEEE(stored) == 0 && len(stored) == 0 {
-			return nil, fmt.Errorf("%w: empty block", ErrSSTCorrupt)
+		// Native mode verifies the per-block CRC carried in the index,
+		// mirroring RocksDB block checksums: corruption is detected, but
+		// (unlike the secure levels) a forger who can rewrite the index
+		// is not defended against.
+		if crc32.ChecksumIEEE(stored) != h.crc {
+			return nil, fmt.Errorf("%w: block %d crc mismatch", ErrSSTCorrupt, i)
 		}
 	}
 	if r.ciph != nil {

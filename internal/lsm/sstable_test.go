@@ -8,11 +8,12 @@ import (
 	"testing"
 
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 func buildTestSST(t *testing.T, dir string, level seal.SecurityLevel, key seal.Key, n int) fileMeta {
 	t.Helper()
-	w, err := newSSTWriter(dir, 1, level, key, nil)
+	w, err := newSSTWriter(vfs.Default, dir, 1, level, key, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestSSTWriteReadAllLevels(t *testing.T) {
 			dir := t.TempDir()
 			key := testKey(t)
 			meta := buildTestSST(t, dir, level, key, 1000)
-			r, err := openSST(dir, 1, level, key, nil, meta.footerHash)
+			r, err := openSST(vfs.Default, dir, 1, level, key, nil, meta.footerHash)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func TestSSTIteratorFullScan(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(t)
 	meta := buildTestSST(t, dir, seal.LevelEncrypted, key, 500)
-	r, err := openSST(dir, 1, seal.LevelEncrypted, key, nil, meta.footerHash)
+	r, err := openSST(vfs.Default, dir, 1, seal.LevelEncrypted, key, nil, meta.footerHash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSSTIteratorSeek(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(t)
 	meta := buildTestSST(t, dir, seal.LevelIntegrity, key, 300)
-	r, err := openSST(dir, 1, seal.LevelIntegrity, key, nil, meta.footerHash)
+	r, err := openSST(vfs.Default, dir, 1, seal.LevelIntegrity, key, nil, meta.footerHash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSSTTamperedBlockDetected(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			r, err := openSST(dir, 1, level, key, nil, meta.footerHash)
+			r, err := openSST(vfs.Default, dir, 1, level, key, nil, meta.footerHash)
 			if err != nil {
 				t.Fatal(err) // index is intact; open succeeds
 			}
@@ -177,7 +178,7 @@ func TestSSTTamperedIndexDetected(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSST(dir, 1, seal.LevelEncrypted, key, nil, meta.footerHash); !errors.Is(err, ErrSSTCorrupt) {
+	if _, err := openSST(vfs.Default, dir, 1, seal.LevelEncrypted, key, nil, meta.footerHash); !errors.Is(err, ErrSSTCorrupt) {
 		t.Errorf("got %v, want ErrSSTCorrupt", err)
 	}
 }
@@ -190,7 +191,7 @@ func TestSSTSubstitutedTableDetected(t *testing.T) {
 	metaA := buildTestSST(t, dir, seal.LevelEncrypted, key, 100)
 
 	dirB := t.TempDir()
-	w, err := newSSTWriter(dirB, 1, seal.LevelEncrypted, key, nil)
+	w, err := newSSTWriter(vfs.Default, dirB, 1, seal.LevelEncrypted, key, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestSSTSubstitutedTableDetected(t *testing.T) {
 	if err := os.Rename(sstFileName(dirB, 1), sstFileName(dir, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openSST(dir, 1, seal.LevelEncrypted, key, nil, metaA.footerHash); !errors.Is(err, ErrSSTCorrupt) {
+	if _, err := openSST(vfs.Default, dir, 1, seal.LevelEncrypted, key, nil, metaA.footerHash); !errors.Is(err, ErrSSTCorrupt) {
 		t.Errorf("substituted table: got %v, want ErrSSTCorrupt", err)
 	}
 }
@@ -212,7 +213,7 @@ func TestSSTSubstitutedTableDetected(t *testing.T) {
 func TestSSTEncryptedConfidential(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey(t)
-	w, err := newSSTWriter(dir, 1, seal.LevelEncrypted, key, nil)
+	w, err := newSSTWriter(vfs.Default, dir, 1, seal.LevelEncrypted, key, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSSTEncryptedConfidential(t *testing.T) {
 
 func TestSSTRejectsOutOfOrderKeys(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newSSTWriter(dir, 1, seal.LevelNone, seal.Key{}, nil)
+	w, err := newSSTWriter(vfs.Default, dir, 1, seal.LevelNone, seal.Key{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,325 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"treaty/internal/obs"
+	"treaty/internal/seal"
+	"treaty/internal/vfs"
+)
+
+func faultTestKey() seal.Key {
+	var k seal.Key
+	for i := range k {
+		k[i] = byte(i*3 + 1)
+	}
+	return k
+}
+
+var allLevels = []struct {
+	name  string
+	level seal.SecurityLevel
+}{
+	{"none", seal.LevelNone},
+	{"integrity", seal.LevelIntegrity},
+	{"encrypted", seal.LevelEncrypted},
+}
+
+// TestWALTornTailRecovery is the torn-tail property test: a WAL holding
+// N records is truncated at EVERY byte offset of its final record, and
+// replay at every security level must either drop the torn record
+// cleanly (recovering exactly N-1 intact entries) or — when the trusted
+// counter proves the record was acknowledged — refuse recovery with
+// ErrRollbackDetected. No truncation point may yield garbage entries or
+// a spurious integrity error.
+func TestWALTornTailRecovery(t *testing.T) {
+	const n = 4
+	for _, lv := range allLevels {
+		lv := lv
+		t.Run(lv.name, func(t *testing.T) {
+			// Build the reference log once, recording each record's end
+			// offset.
+			fs := vfs.NewMemFS()
+			if err := fs.MkdirAll("/w", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			w, err := createWAL(fs, "/w", 1, lv.level, faultTestKey(), nil, NewImmediateCounter())
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := walFileName("/w", 1)
+			payloads := make([][]byte, n)
+			ends := make([]int, n)
+			for i := 0; i < n; i++ {
+				payloads[i] = []byte(fmt.Sprintf("payload-%d-%s", i, strings.Repeat("x", 20+i)))
+				if _, err := w.append(walKindBatch, payloads[i]); err != nil {
+					t.Fatal(err)
+				}
+				full, err := fs.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ends[i] = len(full)
+			}
+			if err := w.sync(); err != nil {
+				t.Fatal(err)
+			}
+			full, _ := fs.ReadFile(path)
+
+			secureStable := func(v int64) int64 {
+				if lv.level == seal.LevelNone {
+					return -1
+				}
+				return v
+			}
+
+			for cut := ends[n-2]; cut <= ends[n-1]; cut++ {
+				img := vfs.NewMemFS()
+				img.MkdirAll("/w", 0o755)
+				f, _ := img.Create(path)
+				f.Write(full[:cut])
+				f.Sync()
+				img.SyncDir("/w")
+
+				// Counter stable at N-1: the final record was never
+				// acknowledged, so any tear inside it must be dropped
+				// cleanly.
+				entries, torn, err := readWAL(img, path, lv.level, faultTestKey(), nil, secureStable(n-1))
+				if err != nil {
+					t.Fatalf("cut=%d: unexpected error: %v", cut, err)
+				}
+				// At secure levels maxStable=N-1 also bounds an INTACT log:
+				// record N is an unstabilized tail and is dropped even when
+				// every byte of it survived.
+				wantEntries := n - 1
+				if cut == ends[n-1] && lv.level == seal.LevelNone {
+					wantEntries = n
+				}
+				if len(entries) != wantEntries {
+					t.Fatalf("cut=%d: recovered %d entries, want %d", cut, len(entries), wantEntries)
+				}
+				if torn != (cut > ends[n-2] && cut < ends[n-1]) {
+					t.Fatalf("cut=%d: torn=%v", cut, torn)
+				}
+				for i, e := range entries {
+					if string(e.payload) != string(payloads[i]) {
+						t.Fatalf("cut=%d: entry %d replayed as garbage", cut, i)
+					}
+				}
+
+				// Counter stable at N: the final record was acknowledged;
+				// losing any byte of it is a rollback, not a tear.
+				if lv.level != seal.LevelNone && cut < ends[n-1] {
+					_, _, err := readWAL(img, path, lv.level, faultTestKey(), nil, int64(n))
+					if !errors.Is(err, ErrRollbackDetected) {
+						t.Fatalf("cut=%d: acked tail loss not flagged: %v", cut, err)
+					}
+				}
+			}
+
+			// Garbage appended past the last synced record is a crash
+			// artifact outside the protected region: dropped, flagged torn.
+			img := vfs.NewMemFS()
+			img.MkdirAll("/w", 0o755)
+			f, _ := img.Create(path)
+			f.Write(append(append([]byte(nil), full...), []byte("garbage-tail-NOT-a-record")...))
+			f.Sync()
+			img.SyncDir("/w")
+			entries, torn, err := readWAL(img, path, lv.level, faultTestKey(), nil, secureStable(n))
+			if err != nil {
+				t.Fatalf("garbage tail: %v", err)
+			}
+			if len(entries) != n || !torn {
+				t.Fatalf("garbage tail: %d entries, torn=%v", len(entries), torn)
+			}
+		})
+	}
+}
+
+// TestWALSyncFailureFailStop is the fail-stop regression: after one
+// injected fsync failure the engine must refuse every later commit with
+// a sticky ErrLogPoisoned (retrying would splice the log across the
+// dropped tail), and a reboot must recover exactly the pre-failure
+// state.
+func TestWALSyncFailureFailStop(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ff := vfs.NewFaultFS(mem)
+	db, err := Open(Options{Dir: "/db", FS: ff, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := NewBatch()
+	good.Put([]byte("committed"), []byte("v1"))
+	if _, _, err := db.Apply(good); err != nil {
+		t.Fatal(err)
+	}
+
+	ff.FailNextSyncs(1)
+	bad := NewBatch()
+	bad.Put([]byte("lost"), []byte("v2"))
+	if _, _, err := db.Apply(bad); err == nil {
+		t.Fatal("commit acknowledged over a failed fsync")
+	}
+
+	// Faults are gone, but the handle is poisoned: no later commit may be
+	// acknowledged, even though the device recovered.
+	after := NewBatch()
+	after.Put([]byte("after"), []byte("v3"))
+	if _, _, err := db.Apply(after); !errors.Is(err, ErrLogPoisoned) {
+		t.Fatalf("post-failure commit error = %v, want ErrLogPoisoned", err)
+	}
+	_ = db.Close()
+
+	// Reboot: the pre-failure commit is there, nothing after it is.
+	db2, err := Open(Options{Dir: "/db", FS: ff, SyncWAL: true})
+	if err != nil {
+		t.Fatalf("reboot after poisoned wal: %v", err)
+	}
+	defer db2.Close()
+	if _, _, found, err := db2.Get([]byte("committed"), db2.LatestSeq()); err != nil || !found {
+		t.Fatalf("pre-failure commit lost: found=%v err=%v", found, err)
+	}
+	for _, k := range []string{"lost", "after"} {
+		if _, _, found, _ := db2.Get([]byte(k), db2.LatestSeq()); found {
+			t.Fatalf("unacknowledged key %q resurrected", k)
+		}
+	}
+	b := NewBatch()
+	b.Put([]byte("fresh"), []byte("v4"))
+	if _, _, err := db2.Apply(b); err != nil {
+		t.Fatalf("rebooted store rejects writes: %v", err)
+	}
+}
+
+// TestCounterPersistFailureFailStop: a trusted counter that can no
+// longer persist must fail-stop the commit path — acknowledging a commit
+// whose counter binding is only in memory re-opens the lost-ack hole on
+// the next reboot.
+func TestCounterPersistFailureFailStop(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ff := vfs.NewFaultFS(mem)
+	if err := ff.MkdirAll("/ctr", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	counters := make(map[string]TrustedCounter)
+	factory := func(name string) TrustedCounter {
+		if c, ok := counters[name]; ok {
+			return c
+		}
+		c, err := NewFileCounter(ff, filepath.Join("/ctr", name))
+		if err != nil {
+			t.Fatalf("counter %s: %v", name, err)
+		}
+		counters[name] = c
+		return c
+	}
+	db, err := Open(Options{
+		Dir: "/db", FS: ff, SyncWAL: true,
+		Level: seal.LevelIntegrity, Key: faultTestKey(),
+		Counters: factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ok := NewBatch()
+	ok.Put([]byte("k0"), []byte("v0"))
+	if _, _, err := db.Apply(ok); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only counter-file syncs fail: the WAL itself stays healthy, so the
+	// refusal below is attributable to the counter alone.
+	ff.SetMatch(func(name string) bool { return strings.HasPrefix(name, "/ctr/") })
+	ff.FailNextSyncs(1)
+	bad := NewBatch()
+	bad.Put([]byte("k1"), []byte("v1"))
+	if _, _, err := db.Apply(bad); err == nil {
+		t.Fatal("commit acknowledged with an unpersistable trusted counter")
+	}
+	// Sticky: the counter is permanently failed, commits stay refused.
+	again := NewBatch()
+	again.Put([]byte("k2"), []byte("v2"))
+	if _, _, err := db.Apply(again); err == nil {
+		t.Fatal("commit acknowledged after counter fail-stop")
+	}
+}
+
+// TestNativeModeBlockCorruptionDetected: at LevelNone there are no hash
+// chains, but per-block CRCs must still catch media corruption — the
+// pre-fix check compared a fresh checksum against zero and could never
+// fire. The damaged table must be quarantined with a sticky error and
+// counted in the corruption metric.
+func TestNativeModeBlockCorruptionDetected(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := Open(Options{Dir: "/db", FS: fs, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch()
+	for i := 0; i < 32; i++ {
+		b.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(strings.Repeat("v", 64)))
+	}
+	if _, _, err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the first data block of the table.
+	var sstPath string
+	ents, err := fs.ReadDir("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), "sst-") {
+			sstPath = "/db/" + de.Name()
+		}
+	}
+	if sstPath == "" {
+		t.Fatal("flush produced no sstable")
+	}
+	raw, err := fs.ReadFile(sstPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[5] ^= 0x40
+	f, err := fs.OpenFile(sstPath, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	db2, err := Open(Options{Dir: "/db", FS: fs, SyncWAL: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	_, _, _, gerr := db2.Get([]byte("key-000"), db2.LatestSeq())
+	if !errors.Is(gerr, ErrSSTCorrupt) {
+		t.Fatalf("native-mode read of corrupted block: err=%v, want ErrSSTCorrupt", gerr)
+	}
+	// Quarantined: the second read fails the same way without touching
+	// the damaged file again.
+	if _, _, _, gerr := db2.Get([]byte("key-000"), db2.LatestSeq()); !errors.Is(gerr, ErrSSTCorrupt) {
+		t.Fatalf("quarantine not sticky: %v", gerr)
+	}
+	if got := reg.Snapshot().Counter("lsm.corruption.detected"); got == 0 {
+		t.Fatal("corruption metric not incremented")
+	}
+}

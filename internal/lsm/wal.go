@@ -3,12 +3,12 @@ package lsm
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync/atomic"
 
 	"treaty/internal/enclave"
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 // TrustedCounter is the asynchronous trusted-counter interface a log file
@@ -64,17 +64,25 @@ const (
 	walKindTxDecision
 )
 
+// ErrLogPoisoned indicates a log handle that hit a write or sync failure
+// and fail-stopped. After a failed fsync the kernel may have dropped the
+// dirty pages (fsyncgate), so the log's unsynced tail must be assumed
+// lost; retrying appends past the hole would silently splice the log.
+// The only safe continuation is a restart that re-runs recovery.
+var ErrLogPoisoned = errors.New("lsm: log poisoned by earlier write/sync failure")
+
 // wal is one write-ahead log file. Appends are serialized by the DB's
 // commit path (group commit); Sync flushes to stable storage and
 // Stabilize binds the tail to the trusted counter.
 type wal struct {
-	f      *os.File
-	codec  *seal.LogCodec
-	rt     *enclave.Runtime
-	ctr    TrustedCounter
-	path   string
-	number uint64
-	buf    []byte
+	f        vfs.File
+	codec    *seal.LogCodec
+	rt       *enclave.Runtime
+	ctr      TrustedCounter
+	path     string
+	number   uint64
+	buf      []byte
+	poisoned error
 }
 
 // walFileName builds the WAL path for a file number.
@@ -82,16 +90,21 @@ func walFileName(dir string, number uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", number))
 }
 
-// createWAL creates a fresh WAL file.
-func createWAL(dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr TrustedCounter) (*wal, error) {
+// createWAL creates a fresh WAL file, durably (the creation is
+// dir-fsynced so a post-crash recovery sees the file).
+func createWAL(fs vfs.FS, dir string, number uint64, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr TrustedCounter) (*wal, error) {
 	path := walFileName(dir, number)
 	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: creating wal codec: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: creating wal: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: syncing dir after wal create: %w", err)
 	}
 	if rt != nil {
 		rt.Syscall()
@@ -101,8 +114,12 @@ func createWAL(dir string, number uint64, level seal.SecurityLevel, key seal.Key
 
 // append frames and writes one entry, returning its counter value. The
 // write reaches the OS; durability needs sync, rollback protection needs
-// stabilize.
+// stabilize. A failed write poisons the handle: the codec chain has
+// already advanced past the lost entry, so no later append may succeed.
 func (w *wal) append(kind uint8, payload []byte) (uint64, error) {
+	if w.poisoned != nil {
+		return 0, w.poisoned
+	}
 	w.buf = w.buf[:0]
 	var ctr uint64
 	w.buf, ctr = w.codec.AppendEntry(w.buf, kind, payload)
@@ -110,17 +127,23 @@ func (w *wal) append(kind uint8, payload []byte) (uint64, error) {
 		w.rt.Syscall()
 	}
 	if _, err := w.f.Write(w.buf); err != nil {
+		w.poisoned = fmt.Errorf("%w: wal write: %v", ErrLogPoisoned, err)
 		return 0, fmt.Errorf("lsm: wal write: %w", err)
 	}
 	return ctr, nil
 }
 
-// sync flushes the file to stable storage.
+// sync flushes the file to stable storage. A failure poisons the handle
+// (fsyncgate: the unsynced tail must be assumed lost, not retried).
 func (w *wal) sync() error {
+	if w.poisoned != nil {
+		return w.poisoned
+	}
 	if w.rt != nil {
 		w.rt.Syscall()
 	}
 	if err := w.f.Sync(); err != nil {
+		w.poisoned = fmt.Errorf("%w: wal sync: %v", ErrLogPoisoned, err)
 		return fmt.Errorf("lsm: wal sync: %w", err)
 	}
 	return nil
@@ -165,21 +188,30 @@ var ErrRollbackDetected = errors.New("lsm: rollback attack detected")
 //  2. A log that ends *before* the trusted stable value is missing
 //     rollback-protected entries: ErrRollbackDetected.
 //
-// maxStable < 0 skips freshness checks (native mode).
-func readWAL(path string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, maxStable int64) ([]walEntry, error) {
+// A decode failure at the tail is tolerated — reported via torn — when
+// it is provably a crash artifact rather than an attack: a byte-level
+// truncation (ErrTruncated) anywhere, any failure at LevelNone
+// (RocksDB-style recovery stops at the tear), or any failure past the
+// trusted stable point (those entries were never acknowledged). A
+// non-truncation failure inside the rollback-protected region still
+// surfaces as an error. maxStable < 0 skips freshness checks (native
+// mode).
+func readWAL(fs vfs.FS, path string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, maxStable int64) ([]walEntry, bool, error) {
 	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
 	if err != nil {
-		return nil, fmt.Errorf("lsm: wal codec: %w", err)
+		return nil, false, fmt.Errorf("lsm: wal codec: %w", err)
 	}
 	if rt != nil {
 		rt.Syscall()
 	}
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("lsm: reading wal: %w", err)
+		return nil, false, fmt.Errorf("lsm: reading wal: %w", err)
 	}
 	var out []walEntry
+	torn := false
 	off := 0
+	last := uint64(0)
 	for off < len(data) {
 		if rt != nil {
 			// Each entry costs a (SCONE async) syscall to pull across
@@ -190,12 +222,11 @@ func readWAL(path string, level seal.SecurityLevel, key seal.Key, rt *enclave.Ru
 		}
 		e, n, derr := codec.DecodeEntry(data[off:])
 		if derr != nil {
-			if errors.Is(derr, seal.ErrTruncated) && level == seal.LevelNone {
-				// Native logs may have a torn tail after a crash;
-				// RocksDB-style recovery stops at the tear.
+			if tolerableTear(derr, level, last, maxStable) {
+				torn = true
 				break
 			}
-			return nil, fmt.Errorf("lsm: wal %s entry at %d: %w", filepath.Base(path), off, derr)
+			return nil, false, fmt.Errorf("lsm: wal %s entry at %d: %w", filepath.Base(path), off, derr)
 		}
 		if maxStable >= 0 && e.Counter > uint64(maxStable) {
 			// Unstabilized tail: ignore, it was never rollback-protected
@@ -203,17 +234,27 @@ func readWAL(path string, level seal.SecurityLevel, key seal.Key, rt *enclave.Ru
 			break
 		}
 		out = append(out, walEntry{kind: e.Kind, counter: e.Counter, payload: e.Payload})
+		last = e.Counter
 		off += n
 	}
-	if maxStable > 0 {
-		last := uint64(0)
-		if len(out) > 0 {
-			last = out[len(out)-1].counter
-		}
-		if last < uint64(maxStable) {
-			return nil, fmt.Errorf("%w: wal %s ends at counter %d, trusted value is %d",
-				ErrRollbackDetected, filepath.Base(path), last, maxStable)
-		}
+	if maxStable > 0 && last < uint64(maxStable) {
+		return nil, false, fmt.Errorf("%w: wal %s ends at counter %d, trusted value is %d",
+			ErrRollbackDetected, filepath.Base(path), last, maxStable)
 	}
-	return out, nil
+	return out, torn, nil
+}
+
+// tolerableTear decides whether a log decode failure after entry
+// `last` may be treated as a crash-torn tail rather than tampering.
+// Byte truncation is always a possible crash artifact (and if it cut
+// into the rollback-protected region, the caller's freshness check
+// still flags it); other failures (bad checksum, broken chain) are
+// tolerable only where the log is unprotected: at LevelNone, when no
+// freshness information exists, or strictly past the trusted stable
+// point.
+func tolerableTear(derr error, level seal.SecurityLevel, last uint64, maxStable int64) bool {
+	if errors.Is(derr, seal.ErrTruncated) || level == seal.LevelNone {
+		return true
+	}
+	return maxStable < 0 || last >= uint64(maxStable)
 }

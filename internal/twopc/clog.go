@@ -18,6 +18,7 @@ import (
 	"treaty/internal/enclave"
 	"treaty/internal/lsm"
 	"treaty/internal/seal"
+	"treaty/internal/vfs"
 )
 
 // Clog entry kinds.
@@ -28,6 +29,13 @@ const (
 	// clogDecision records the commit/abort decision (step 6-7); it must
 	// be stabilized before the transaction commits.
 	clogDecision
+)
+
+// Exported record kinds for harnesses that drive Append directly (the
+// crash-point harness appends synthetic coordinator records).
+const (
+	ClogKindPrepare  = clogPrepare
+	ClogKindDecision = clogDecision
 )
 
 // ClogEntry is one recovered coordinator-log record.
@@ -93,7 +101,7 @@ func decodeClogPayload(data []byte) (txID lsm.TxID, commit bool, participants []
 // MANIFEST. It is thread-safe; coordinator fibers append independently.
 type Clog struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     vfs.File
 	codec *seal.LogCodec
 	rt    *enclave.Runtime
 	ctr   lsm.TrustedCounter
@@ -101,8 +109,15 @@ type Clog struct {
 	// syncEvery fsyncs per append when set. Off by default: the crash
 	// model loses process state, not the OS page cache, and durability
 	// ordering against the trusted counter is what recovery checks. Real
-	// deployments that fear power loss call EnableSync.
+	// deployments that fear power loss call EnableSync; the chaos and
+	// crash-point harnesses enable it so disk faults are exercised.
 	syncEvery bool
+	// poisoned is the sticky fail-stop error after a write/sync failure
+	// (fsyncgate: the unsynced tail must be assumed lost, not retried).
+	poisoned error
+	// tornDropped records that opening found and dropped a crash-torn
+	// tail.
+	tornDropped bool
 }
 
 // clogName builds the Clog path.
@@ -111,18 +126,28 @@ func clogName(dir string) string { return filepath.Join(dir, "CLOG-000001") }
 // OpenClog creates or re-opens the coordinator log. Existing entries are
 // replayed (verifying chain, counters, and freshness against maxStable;
 // pass -1 to skip freshness) and returned for coordinator recovery.
-func OpenClog(dir string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr lsm.TrustedCounter, maxStable int64) (*Clog, []ClogEntry, error) {
+//
+// A decode failure at the tail is tolerated — and the tail truncated —
+// when it is provably a crash artifact rather than an attack: a
+// byte-level truncation anywhere, any failure at LevelNone, or any
+// failure past the trusted stable point (those entries were never
+// acknowledged). fs nil uses the real filesystem.
+func OpenClog(fs vfs.FS, dir string, level seal.SecurityLevel, key seal.Key, rt *enclave.Runtime, ctr lsm.TrustedCounter, maxStable int64) (*Clog, []ClogEntry, error) {
+	if fs == nil {
+		fs = vfs.Default
+	}
 	path := clogName(dir)
 	codec, err := seal.NewLogCodec(level, key, filepath.Base(path), 1)
 	if err != nil {
 		return nil, nil, err
 	}
 	var entries []ClogEntry
-	consumed := int64(0)
-	data, err := os.ReadFile(path)
+	torn := false
+	existed := true
+	data, err := fs.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		// Fresh log.
+		existed = false // fresh log
 	case err != nil:
 		return nil, nil, fmt.Errorf("twopc: reading clog: %w", err)
 	default:
@@ -131,7 +156,10 @@ func OpenClog(dir string, level seal.SecurityLevel, key seal.Key, rt *enclave.Ru
 		for off < len(data) {
 			e, n, derr := codec.DecodeEntry(data[off:])
 			if derr != nil {
-				if errors.Is(derr, seal.ErrTruncated) && level == seal.LevelNone {
+				tolerable := errors.Is(derr, seal.ErrTruncated) || level == seal.LevelNone ||
+					maxStable < 0 || last >= uint64(maxStable)
+				if tolerable {
+					torn = true
 					break
 				}
 				return nil, nil, fmt.Errorf("twopc: clog entry at %d: %w", off, derr)
@@ -154,28 +182,50 @@ func OpenClog(dir string, level seal.SecurityLevel, key seal.Key, rt *enclave.Ru
 			return nil, nil, fmt.Errorf("%w: clog ends at counter %d, trusted value is %d",
 				lsm.ErrRollbackDetected, last, maxStable)
 		}
-		consumed = int64(off)
-		if err := os.Truncate(path, consumed); err != nil {
+		if err := fs.Truncate(path, int64(off)); err != nil {
 			return nil, nil, fmt.Errorf("twopc: truncating clog: %w", err)
 		}
 	}
 
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("twopc: opening clog: %w", err)
+	}
+	if !existed {
+		// Make the log's directory entry durable so a post-crash recovery
+		// sees the (possibly empty) file.
+		if err := fs.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("twopc: syncing dir after clog create: %w", err)
+		}
 	}
 	if rt != nil {
 		rt.Syscall()
 	}
-	return &Clog{f: f, codec: codec, rt: rt, ctr: ctr}, entries, nil
+	return &Clog{f: f, codec: codec, rt: rt, ctr: ctr, tornDropped: torn}, entries, nil
+}
+
+// TornTailDropped reports whether opening dropped a crash-torn tail (a
+// detected-corruption event for the observability layer).
+func (c *Clog) TornTailDropped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tornDropped
 }
 
 // Append logs one entry, syncs, and starts stabilizing it; it returns a
 // token the caller can wait on ("Every Tx/operation is logged to Clog
-// with its own unique trusted counter value").
+// with its own unique trusted counter value"). The Clog is fail-stop: a
+// write or sync failure poisons it — the codec chain has advanced past
+// the lost entry (and after a failed fsync the tail may be gone), so
+// continuing to append would silently splice the protocol log. A
+// counter that can no longer persist poisons it too.
 func (c *Clog) Append(kind uint8, txID lsm.TxID, commit bool, participants []string) (lsm.StableToken, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.poisoned != nil {
+		return lsm.StableToken{}, c.poisoned
+	}
 	c.buf = c.buf[:0]
 	var ctr uint64
 	c.buf, ctr = c.codec.AppendEntry(c.buf, kind, encodeClogPayload(txID, commit, participants))
@@ -183,6 +233,7 @@ func (c *Clog) Append(kind uint8, txID lsm.TxID, commit bool, participants []str
 		c.rt.Syscall()
 	}
 	if _, err := c.f.Write(c.buf); err != nil {
+		c.poisoned = fmt.Errorf("%w: clog write: %v", lsm.ErrLogPoisoned, err)
 		return lsm.StableToken{}, fmt.Errorf("twopc: clog write: %w", err)
 	}
 	if c.syncEvery {
@@ -190,10 +241,17 @@ func (c *Clog) Append(kind uint8, txID lsm.TxID, commit bool, participants []str
 			c.rt.Syscall()
 		}
 		if err := c.f.Sync(); err != nil {
+			c.poisoned = fmt.Errorf("%w: clog sync: %v", lsm.ErrLogPoisoned, err)
 			return lsm.StableToken{}, fmt.Errorf("twopc: clog sync: %w", err)
 		}
 	}
 	c.ctr.Stabilize(ctr)
+	if fc, ok := c.ctr.(interface{ Failed() error }); ok {
+		if err := fc.Failed(); err != nil {
+			c.poisoned = fmt.Errorf("%w: clog counter: %v", lsm.ErrLogPoisoned, err)
+			return lsm.StableToken{}, err
+		}
+	}
 	return lsm.NewStableToken(c.ctr, ctr), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treaty/internal/erpc"
@@ -76,10 +77,13 @@ func newPartMetrics(m *obs.Registry) partMetrics {
 
 // activeTxn is one in-flight local transaction.
 type activeTxn struct {
-	mu       sync.Mutex
-	local    *txn.Txn
-	id       lsm.TxID
-	prepared bool
+	mu    sync.Mutex
+	local *txn.Txn
+	id    lsm.TxID
+	// prepared is atomic: handlers flip it under at.mu, but the janitor
+	// and recovery scans read it under p.mu only — taking at.mu there
+	// would invert the at.mu → p.mu order the handlers use via drop().
+	prepared atomic.Bool
 	last     time.Time
 }
 
@@ -305,7 +309,7 @@ func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
 	at.mu.Lock()
 	defer at.mu.Unlock()
 	at.local.SetYield(f.Yield)
-	if at.prepared {
+	if at.prepared.Load() {
 		req.Reply([]byte{voteYes})
 		return
 	}
@@ -326,7 +330,7 @@ func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
 		req.ReplyError(err.Error())
 		return
 	}
-	at.prepared = true
+	at.prepared.Store(true)
 	p.met.prepares.Inc()
 	req.Reply([]byte{voteYes})
 }
@@ -345,7 +349,7 @@ func (p *Participant) handleCommit(f *fibers.Fiber, req *erpc.Request) {
 	at.mu.Lock()
 	defer at.mu.Unlock()
 	at.local.SetYield(f.Yield)
-	if !at.prepared {
+	if !at.prepared.Load() {
 		req.ReplyError("twopc: commit for unprepared transaction")
 		return
 	}
@@ -370,7 +374,7 @@ func (p *Participant) handleAbort(f *fibers.Fiber, req *erpc.Request) {
 	defer at.mu.Unlock()
 	at.local.SetYield(f.Yield)
 	var err error
-	if at.prepared {
+	if at.prepared.Load() {
 		err = at.local.AbortPrepared(id)
 	} else {
 		err = at.local.Rollback()
@@ -402,7 +406,7 @@ func (p *Participant) janitor() {
 		p.mu.Lock()
 		var stale []*activeTxn
 		for id, at := range p.active {
-			if !at.prepared && at.last.Before(cutoff) {
+			if !at.prepared.Load() && at.last.Before(cutoff) {
 				stale = append(stale, at)
 				delete(p.active, id)
 				p.reclaimed[id] = time.Now()
@@ -432,8 +436,10 @@ func (p *Participant) RestorePrepared(pending []lsm.PreparedTx) error {
 		if err != nil {
 			return fmt.Errorf("twopc: restoring %x: %w", pt.ID[:4], err)
 		}
+		at := &activeTxn{local: local, id: pt.ID, last: time.Now()}
+		at.prepared.Store(true)
 		p.mu.Lock()
-		p.active[pt.ID] = &activeTxn{local: local, id: pt.ID, prepared: true, last: time.Now()}
+		p.active[pt.ID] = at
 		p.mu.Unlock()
 		p.met.restored.Inc()
 	}
@@ -450,7 +456,7 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 	p.mu.Lock()
 	var prepared []*activeTxn
 	for _, at := range p.active {
-		if at.prepared {
+		if at.prepared.Load() {
 			prepared = append(prepared, at)
 		}
 	}

@@ -143,7 +143,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 		Metrics: reg,
 	})
 	clogCtr := tc.ctrs.factory(addr)("CLOG-000001")
-	clog, recovered, err := OpenClog(dir, seal.LevelEncrypted, tc.key, nil, clogCtr, int64(clogCtr.StableValue()))
+	clog, recovered, err := OpenClog(nil, dir, seal.LevelEncrypted, tc.key, nil, clogCtr, int64(clogCtr.StableValue()))
 	if err != nil {
 		tc.t.Fatal(err)
 	}
@@ -503,7 +503,7 @@ func TestClogRoundTripAndTamper(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctr := &fakeCounter{}
-	clog, recovered, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	clog, recovered, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +521,7 @@ func TestClogRoundTripAndTamper(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, entries, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
+	_, entries, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -655,7 +655,7 @@ func TestClogStableAndLastCounter(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctr := &manualCounter{}
-	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	clog, _, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -685,7 +685,7 @@ func TestClogRollbackDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctr := &fakeCounter{}
-	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	clog, _, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -707,7 +707,7 @@ func TestClogRollbackDetected(t *testing.T) {
 	if err := os.WriteFile(clogName(dir), data1, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
+	_, _, err = OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue()))
 	if !errors.Is(err, lsm.ErrRollbackDetected) {
 		t.Fatalf("got %v, want ErrRollbackDetected", err)
 	}
@@ -720,7 +720,7 @@ func TestClogTamperDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctr := &fakeCounter{}
-	clog, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, -1)
+	clog, _, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -738,7 +738,7 @@ func TestClogTamperDetected(t *testing.T) {
 	if err := os.WriteFile(clogName(dir), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := OpenClog(dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue())); err == nil {
+	if _, _, err := OpenClog(nil, dir, seal.LevelEncrypted, key, nil, ctr, int64(ctr.StableValue())); err == nil {
 		t.Fatal("tampered clog accepted")
 	}
 }
