@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race test-race chaos soak-metrics soak-disk crashpoint vet
+.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary crashpoint fuzz vet
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ race:
 # feeds it (metrics registry, RPC, 2PC, chaos invariants), plus the
 # filesystem fault layer and crash-point harness.
 test-race:
-	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/... ./internal/vfs/...
+	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/... ./internal/vfs/... ./internal/audit/...
 
 # Full 20-round chaos soak with per-round logging.
 chaos:
@@ -32,6 +32,24 @@ soak-metrics:
 # (fsyncgate), read-side bit rot, and boot-from-corruption refusal.
 soak-disk:
 	$(GO) test -v -run TestChaosSoakDisk ./internal/chaos/
+
+# Full 18-round network-adversary soak: delay, duplication,
+# capture-and-replay, partitions, and payload corruption against live
+# 2PC traffic, with the committed history checked for serializability.
+# Set TREATY_SEED to replay a failing run deterministically.
+soak-adversary:
+	$(GO) test -v -run TestChaosSoakAdversary ./internal/chaos/
+
+# Coverage-guided fuzzing of every externally-reachable decoder: erpc
+# frames (plaintext + sealed), the replay cache, the counter-service
+# request codec, and the full 2PC protocol handler stack. Go allows one
+# -fuzz target per invocation, so each runs separately for FUZZTIME.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/erpc/
+	$(GO) test -run '^$$' -fuzz FuzzReplayCache -fuzztime $(FUZZTIME) ./internal/erpc/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeReq -fuzztime $(FUZZTIME) ./internal/counter/
+	$(GO) test -run '^$$' -fuzz FuzzProtocolMessages -fuzztime $(FUZZTIME) ./internal/twopc/
 
 # Crash-point harness: power-cut after every durable write site
 # (WAL/SSTable/MANIFEST/counter/Clog) at all three security levels,

@@ -1,0 +1,486 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Violation is one serializability defect found in a history.
+type Violation struct {
+	// Kind is the anomaly class: "G1a" (aborted read), "G1b"
+	// (intermediate read), "G1c" (dependency cycle of wr/ww edges),
+	// "G2" (cycle including an anti-dependency edge), "lost-key"
+	// (committed read missed a key committed in an earlier epoch),
+	// "internal" (a transaction failed to read its own write), or
+	// "recorder" (the history itself is malformed — duplicate unique
+	// values or reads of values nobody wrote).
+	Kind string
+	// Desc is a human-readable account naming the transactions involved;
+	// for cycles it is a minimal violating cycle with edge labels.
+	Desc string
+}
+
+// Report is the checker's verdict plus accounting that lets tests assert
+// the check was non-vacuous.
+type Report struct {
+	Violations []Violation
+
+	// Txns is the history size; Committed counts transactions treated as
+	// committed (including Promoted indeterminate ones whose writes were
+	// observed), Aborted the definite aborts, and Excluded the
+	// indeterminate transactions whose writes were never observed.
+	Txns, Committed, Aborted, Promoted, Excluded int
+	// Keys is the number of distinct keys written; Edges the dependency
+	// edge count among committed transactions.
+	Keys, Edges int
+}
+
+// Clean reports whether the history passed.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean history, or an error naming up to three
+// violations.
+func (r *Report) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d violation(s):", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 3 {
+			fmt.Fprintf(&b, " … and %d more", len(r.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, " [%s] %s;", v.Kind, v.Desc)
+	}
+	return fmt.Errorf("%s", strings.TrimSuffix(b.String(), ";"))
+}
+
+// String summarizes the report for logs.
+func (r *Report) String() string {
+	return fmt.Sprintf("audit: %d txns (%d committed, %d aborted, %d promoted, %d excluded), %d keys, %d edges, %d violations",
+		r.Txns, r.Committed, r.Aborted, r.Promoted, r.Excluded, r.Keys, r.Edges, len(r.Violations))
+}
+
+func (r *Report) add(kind, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Kind: kind, Desc: fmt.Sprintf(format, args...)})
+}
+
+type txStatus uint8
+
+const (
+	stExcluded txStatus = iota // indeterminate, writes never observed
+	stCommitted
+	stAborted
+)
+
+// wref locates one write in the history.
+type wref struct {
+	txn   int // history index
+	key   string
+	op    int  // op index within the txn
+	final bool // last write of this txn to this key (the installed version)
+}
+
+// Check runs the serialization-graph test on a finished history.
+//
+// Rules:
+//   - Indeterminate transactions are committed iff any of their writes
+//     was observed by an (effectively) committed transaction — an
+//     observed value proves the write installed. Unobserved ones are
+//     excluded entirely; this is sound because an uninstalled write
+//     cannot affect any other transaction.
+//   - G1a: a committed transaction read a value written by a definitely
+//     aborted transaction.
+//   - G1b: a committed transaction read a writer's non-final write to a
+//     key (an intermediate state).
+//   - lost-key: a committed transaction read key-not-found although a
+//     committed transaction from an earlier recorder epoch installed a
+//     version of that key (epochs are real-time fences, so "the key did
+//     not exist yet" is impossible).
+//   - Version order per key is inferred from read-modify-write
+//     parentage: an installed write's parent is the first value of that
+//     key the writer observed from another transaction. Edges: wr
+//     (writer → reader of its value), ww (parent writer → child writer),
+//     rw (reader of parent → child writer). Any cycle among committed
+//     transactions is reported as G1c (only wr/ww) or G2 (contains rw),
+//     with a minimal cycle.
+func Check(hist []Txn) *Report {
+	rep := &Report{Txns: len(hist)}
+
+	// Index every write by its (globally unique) value.
+	writers := make(map[string]wref)
+	for i, t := range hist {
+		lastW := make(map[string]int, 4)
+		for j, op := range t.Ops {
+			if op.Kind == OpWrite {
+				lastW[op.Key] = j
+			}
+		}
+		for j, op := range t.Ops {
+			if op.Kind != OpWrite {
+				continue
+			}
+			if prev, dup := writers[op.Value]; dup {
+				rep.add("recorder", "value %q written twice: T%d and T%d", op.Value, hist[prev.txn].ID, t.ID)
+				continue
+			}
+			writers[op.Value] = wref{txn: i, key: op.Key, op: j, final: lastW[op.Key] == j}
+		}
+	}
+
+	// Status resolution: definite outcomes first, then promote
+	// indeterminate transactions whose writes were observed by an
+	// effectively committed transaction, to a fixpoint.
+	status := make([]txStatus, len(hist))
+	var queue []int
+	for i, t := range hist {
+		switch t.Outcome {
+		case OutcomeCommitted:
+			status[i] = stCommitted
+			queue = append(queue, i)
+		case OutcomeAborted:
+			status[i] = stAborted
+		default:
+			status[i] = stExcluded
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, op := range hist[i].Ops {
+			if op.Kind != OpRead || !op.Found {
+				continue
+			}
+			w, ok := writers[op.Value]
+			if !ok || w.txn == i {
+				continue
+			}
+			if status[w.txn] == stExcluded {
+				status[w.txn] = stCommitted
+				rep.Promoted++
+				queue = append(queue, w.txn)
+			}
+		}
+	}
+	for i := range hist {
+		switch status[i] {
+		case stCommitted:
+			rep.Committed++
+		case stAborted:
+			rep.Aborted++
+		default:
+			rep.Excluded++
+		}
+	}
+
+	// Per-key: the minimum epoch in which a committed transaction
+	// installed a version (for the lost-key rule).
+	minEpoch := make(map[string]uint64)
+	for _, w := range writers {
+		if status[w.txn] != stCommitted || !w.final {
+			continue
+		}
+		e := hist[w.txn].Epoch
+		if cur, ok := minEpoch[w.key]; !ok || e < cur {
+			minEpoch[w.key] = e
+		}
+	}
+
+	// Committed-transaction scan: own-write visibility, G1a, G1b,
+	// lost-key; collect external readers per observed value.
+	readersOf := make(map[string][]int)
+	for i := range hist {
+		if status[i] != stCommitted {
+			continue
+		}
+		t := &hist[i]
+		myLast := make(map[string]string, 4)
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case OpWrite:
+				myLast[op.Key] = op.Value
+			case OpRead:
+				if mine, ok := myLast[op.Key]; ok {
+					// Read after own write: must observe it.
+					if !op.Found || op.Value != mine {
+						rep.add("internal", "T%d read %q=%q (found=%v) after writing %q",
+							t.ID, op.Key, op.Value, op.Found, mine)
+					}
+					continue
+				}
+				if !op.Found {
+					if e, ok := minEpoch[op.Key]; ok && e < t.Epoch {
+						rep.add("lost-key", "T%d (epoch %d) read %q as missing, but a committed epoch-%d transaction installed it",
+							t.ID, t.Epoch, op.Key, e)
+					}
+					continue
+				}
+				w, ok := writers[op.Value]
+				if !ok {
+					rep.add("recorder", "T%d read %q=%q, a value no recorded transaction wrote",
+						t.ID, op.Key, op.Value)
+					continue
+				}
+				if w.txn == i {
+					continue
+				}
+				if w.key != op.Key {
+					rep.add("recorder", "T%d read %q=%q, but T%d wrote that value to %q",
+						t.ID, op.Key, op.Value, hist[w.txn].ID, w.key)
+					continue
+				}
+				switch {
+				case status[w.txn] == stAborted:
+					rep.add("G1a", "T%d read %q=%q written by aborted T%d",
+						t.ID, op.Key, op.Value, hist[w.txn].ID)
+				case !w.final:
+					rep.add("G1b", "T%d read intermediate value %q=%q of T%d",
+						t.ID, op.Key, op.Value, hist[w.txn].ID)
+				default:
+					readersOf[op.Value] = append(readersOf[op.Value], i)
+				}
+			}
+		}
+	}
+
+	// Dependency graph over committed transactions.
+	adj := make(map[int]map[int]depEdge)
+	addEdge := func(from, to int, label string) {
+		if from == to {
+			return
+		}
+		m, ok := adj[from]
+		if !ok {
+			m = make(map[int]depEdge)
+			adj[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = depEdge{label: label}
+			rep.Edges++
+		}
+	}
+
+	// wr edges: writer → committed reader of its installed value.
+	for v, readers := range readersOf {
+		w := writers[v]
+		for _, r := range readers {
+			addEdge(w.txn, r, "wr["+w.key+"]")
+		}
+	}
+
+	// Installed versions and their parents; ww and rw edges.
+	keys := make(map[string]struct{})
+	for i := range hist {
+		if status[i] != stCommitted {
+			continue
+		}
+		t := &hist[i]
+		// Keys this txn installs (final writes).
+		finals := make(map[string]struct{}, 4)
+		for _, op := range t.Ops {
+			if op.Kind == OpWrite {
+				finals[op.Key] = struct{}{}
+				keys[op.Key] = struct{}{}
+			}
+		}
+		for k := range finals {
+			// Parent: first read of k observing another txn's value.
+			parent := ""
+			for _, op := range t.Ops {
+				if op.Kind != OpRead || op.Key != k || !op.Found {
+					continue
+				}
+				if w, ok := writers[op.Value]; ok && w.txn != i {
+					parent = op.Value
+				}
+				break
+			}
+			if parent == "" {
+				continue // blind write: a version-chain root
+			}
+			pw, ok := writers[parent]
+			if !ok || status[pw.txn] != stCommitted {
+				continue // already reported as recorder/G1a violation
+			}
+			addEdge(pw.txn, i, "ww["+k+"]")
+			for _, r := range readersOf[parent] {
+				addEdge(r, i, "rw["+k+"]")
+			}
+		}
+	}
+	rep.Keys = len(keys)
+
+	// Cycle detection: any SCC with more than one node is a violation
+	// (self-edges are impossible). Report a minimal cycle per SCC.
+	for _, scc := range stronglyConnected(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		cycle := shortestCycle(adj, scc)
+		kind := "G1c"
+		var b strings.Builder
+		for i, n := range cycle {
+			next := cycle[(i+1)%len(cycle)]
+			lbl := adj[n][next].label
+			if strings.HasPrefix(lbl, "rw") {
+				kind = "G2"
+			}
+			fmt.Fprintf(&b, "T%d(c%d) -%s-> ", hist[n].ID, hist[n].Client, lbl)
+		}
+		fmt.Fprintf(&b, "T%d", hist[cycle[0]].ID)
+		rep.add(kind, "dependency cycle: %s", b.String())
+	}
+
+	sort.SliceStable(rep.Violations, func(i, j int) bool {
+		return rep.Violations[i].Kind < rep.Violations[j].Kind
+	})
+	return rep
+}
+
+// depEdge labels one dependency edge ("wr[key]", "ww[key]", "rw[key]").
+type depEdge struct{ label string }
+
+// stronglyConnected returns the SCCs of adj (iterative Tarjan — soak
+// histories reach tens of thousands of nodes, too deep for recursion).
+func stronglyConnected(adj map[int]map[int]depEdge) [][]int {
+	index := make(map[int]int)
+	low := make(map[int]int)
+	onStack := make(map[int]bool)
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct {
+		node  int
+		succs []int
+		i     int
+	}
+	succsOf := func(n int) []int {
+		out := make([]int, 0, len(adj[n]))
+		for m := range adj[n] {
+			out = append(out, m)
+		}
+		sort.Ints(out) // deterministic reports
+		return out
+	}
+
+	nodes := make([]int, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succs) {
+				m := f.succs[f.i]
+				f.i++
+				if _, seen := index[m]; !seen {
+					index[m], low[m] = next, next
+					next++
+					stack = append(stack, m)
+					onStack[m] = true
+					work = append(work, frame{node: m, succs: succsOf(m)})
+				} else if onStack[m] && index[m] < low[f.node] {
+					low[f.node] = index[m]
+				}
+				continue
+			}
+			// Pop frame.
+			n := f.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []int
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					scc = append(scc, m)
+					if m == n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// shortestCycle finds a minimal cycle inside one SCC by BFS from each
+// member (SCCs in violating histories are small; the scan is bounded).
+func shortestCycle(adj map[int]map[int]depEdge, scc []int) []int {
+	in := make(map[int]bool, len(scc))
+	for _, n := range scc {
+		in[n] = true
+	}
+	sort.Ints(scc)
+	var best []int
+	starts := scc
+	if len(starts) > 64 {
+		starts = starts[:64]
+	}
+	for _, src := range starts {
+		// BFS restricted to the SCC.
+		parent := map[int]int{src: src}
+		queue := []int{src}
+		var found []int
+		for len(queue) > 0 && found == nil {
+			u := queue[0]
+			queue = queue[1:]
+			succs := make([]int, 0, len(adj[u]))
+			for v := range adj[u] {
+				succs = append(succs, v)
+			}
+			sort.Ints(succs)
+			for _, v := range succs {
+				if !in[v] {
+					continue
+				}
+				if v == src {
+					// Reconstruct src → … → u, cycle closes u → src.
+					var path []int
+					for x := u; ; x = parent[x] {
+						path = append(path, x)
+						if x == src {
+							break
+						}
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					found = path
+					break
+				}
+				if _, seen := parent[v]; !seen {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if found != nil && (best == nil || len(found) < len(best)) {
+			best = found
+			if len(best) == 2 {
+				return best
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,212 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// Hand-written histories the checker MUST flag (non-vacuity: a checker
+// that passes the soaks is only meaningful if it catches every seeded
+// anomaly class) plus known-good histories it must pass.
+
+func read(k, v string) Op  { return Op{Kind: OpRead, Key: k, Value: v, Found: true} }
+func miss(k string) Op     { return Op{Kind: OpRead, Key: k, Found: false} }
+func write(k, v string) Op { return Op{Kind: OpWrite, Key: k, Value: v} }
+
+func tx(id uint64, outcome Outcome, ops ...Op) Txn {
+	return Txn{ID: id, Client: int(id), Ops: ops, Outcome: outcome}
+}
+
+// wantKinds asserts the report contains at least one violation of each
+// kind and no violation of any other kind.
+func wantKinds(t *testing.T, rep *Report, kinds ...string) {
+	t.Helper()
+	want := map[string]bool{}
+	for _, k := range kinds {
+		want[k] = false
+	}
+	for _, v := range rep.Violations {
+		if _, ok := want[v.Kind]; !ok {
+			t.Errorf("unexpected violation [%s] %s", v.Kind, v.Desc)
+			continue
+		}
+		want[v.Kind] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("checker missed a seeded %s violation: %v", k, rep.Violations)
+		}
+	}
+}
+
+func TestG1aAbortedRead(t *testing.T) {
+	rep := Check([]Txn{
+		tx(1, OutcomeAborted, write("x", "v#a1.1")),
+		tx(2, OutcomeCommitted, read("x", "v#a1.1")),
+	})
+	wantKinds(t, rep, "G1a")
+}
+
+func TestG1bIntermediateRead(t *testing.T) {
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "a#a1.1"), write("x", "b#a1.2")),
+		tx(2, OutcomeCommitted, read("x", "a#a1.1")),
+	})
+	wantKinds(t, rep, "G1b")
+}
+
+func TestLostUpdate(t *testing.T) {
+	// T1 and T2 both RMW the same version of x: the version chain forks,
+	// one update is lost, and the fork shows up as a mutual rw cycle.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "100#a1.1")),
+		tx(2, OutcomeCommitted, read("x", "100#a1.1"), write("x", "90#a2.1")),
+		tx(3, OutcomeCommitted, read("x", "100#a1.1"), write("x", "95#a3.1")),
+	})
+	wantKinds(t, rep, "G2")
+	if len(rep.Violations) == 0 || !strings.Contains(rep.Violations[0].Desc, "rw[") {
+		t.Errorf("lost-update cycle should carry an rw edge: %v", rep.Violations)
+	}
+}
+
+func TestWriteSkew(t *testing.T) {
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "x0#a1.1"), write("y", "y0#a1.2")),
+		tx(2, OutcomeCommitted, read("x", "x0#a1.1"), read("y", "y0#a1.2"), write("x", "x1#a2.1")),
+		tx(3, OutcomeCommitted, read("x", "x0#a1.1"), read("y", "y0#a1.2"), write("y", "y1#a3.1")),
+	})
+	wantKinds(t, rep, "G2")
+}
+
+func TestStaleRead(t *testing.T) {
+	// T3 observes T2's write to y but a pre-T2 version of x: a fractured
+	// read that cannot be placed anywhere in a serial order.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "v0#a1.1"), write("y", "w0#a1.2")),
+		tx(2, OutcomeCommitted,
+			read("x", "v0#a1.1"), read("y", "w0#a1.2"),
+			write("x", "v1#a2.1"), write("y", "w1#a2.2")),
+		tx(3, OutcomeCommitted, read("x", "v0#a1.1"), read("y", "w1#a2.2")),
+	})
+	wantKinds(t, rep, "G2")
+}
+
+func TestG1cCircularInformationFlow(t *testing.T) {
+	// T1 reads T2's write and T2 reads T1's write: a wr/wr cycle with no
+	// anti-dependency edge — pure G1c.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, read("y", "b#a2.1"), write("x", "a#a1.1")),
+		tx(2, OutcomeCommitted, read("x", "a#a1.1"), write("y", "b#a2.1")),
+	})
+	wantKinds(t, rep, "G1c")
+}
+
+func TestLostKey(t *testing.T) {
+	rep := Check([]Txn{
+		{ID: 1, Epoch: 0, Outcome: OutcomeCommitted, Ops: []Op{write("x", "v0#a1.1")}},
+		{ID: 2, Epoch: 1, Outcome: OutcomeCommitted, Ops: []Op{miss("x")}},
+	})
+	wantKinds(t, rep, "lost-key")
+
+	// Within one epoch there is no real-time order, so a miss is legal
+	// (the reader may serialize before the writer).
+	rep = Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "v0#a1.1")),
+		tx(2, OutcomeCommitted, miss("x")),
+	})
+	if !rep.Clean() {
+		t.Errorf("same-epoch missing read flagged: %v", rep.Violations)
+	}
+}
+
+func TestInternalOwnWriteVisibility(t *testing.T) {
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "old#a1.1")),
+		tx(2, OutcomeCommitted, write("x", "new#a2.1"), read("x", "old#a1.1")),
+	})
+	wantKinds(t, rep, "internal")
+}
+
+func TestRecorderMalformedHistories(t *testing.T) {
+	// Duplicate unique value.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "v#a1.1")),
+		tx(2, OutcomeCommitted, write("x", "v#a1.1")),
+	})
+	wantKinds(t, rep, "recorder")
+
+	// Read of a value nobody wrote.
+	rep = Check([]Txn{
+		tx(1, OutcomeCommitted, read("x", "ghost#a9.1")),
+	})
+	wantKinds(t, rep, "recorder")
+}
+
+func TestIndeterminatePromotion(t *testing.T) {
+	// T2's commit outcome was unknown to the client, but T3 observed its
+	// write — so it must have committed, and the history is serializable.
+	// T4's write was never observed: excluded, not a violation.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "v0#a1.1")),
+		tx(2, OutcomeIndeterminate, read("x", "v0#a1.1"), write("x", "v1#a2.1")),
+		tx(3, OutcomeCommitted, read("x", "v1#a2.1"), write("x", "v2#a3.1")),
+		tx(4, OutcomeIndeterminate, write("y", "z#a4.1")),
+	})
+	if !rep.Clean() {
+		t.Fatalf("promotion history flagged: %v", rep.Violations)
+	}
+	if rep.Promoted != 1 || rep.Excluded != 1 || rep.Committed != 3 {
+		t.Errorf("promoted=%d excluded=%d committed=%d, want 1/1/3",
+			rep.Promoted, rep.Excluded, rep.Committed)
+	}
+}
+
+func TestCleanSerialHistory(t *testing.T) {
+	// A linear RMW chain plus a read-only observer and disjoint-key
+	// traffic: serializable, and the graph is non-trivially populated.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, write("x", "100#a1.1"), write("y", "7#a1.2")),
+		tx(2, OutcomeCommitted, read("x", "100#a1.1"), write("x", "90#a2.1")),
+		tx(3, OutcomeCommitted, read("x", "90#a2.1"), write("x", "80#a3.1")),
+		tx(4, OutcomeCommitted, read("x", "80#a3.1"), read("y", "7#a1.2")),
+		tx(5, OutcomeCommitted, write("z", "1#a5.1")),
+		tx(6, OutcomeAborted, read("x", "90#a2.1"), write("x", "0#a6.1")),
+	})
+	if !rep.Clean() {
+		t.Fatalf("clean history flagged: %v", rep.Violations)
+	}
+	if rep.Edges == 0 || rep.Keys != 3 {
+		t.Errorf("graph vacuous: edges=%d keys=%d", rep.Edges, rep.Keys)
+	}
+	if err := rep.Err(); err != nil {
+		t.Errorf("Err() on clean report: %v", err)
+	}
+}
+
+func TestCycleReportIsMinimal(t *testing.T) {
+	// A 2-cycle embedded alongside extra acyclic txns: the reported cycle
+	// names exactly the two members.
+	rep := Check([]Txn{
+		tx(1, OutcomeCommitted, read("y", "b#a2.1"), write("x", "a#a1.1")),
+		tx(2, OutcomeCommitted, read("x", "a#a1.1"), write("y", "b#a2.1")),
+		tx(3, OutcomeCommitted, read("x", "a#a1.1"), write("z", "c#a3.1")),
+		tx(4, OutcomeCommitted, read("z", "c#a3.1")),
+	})
+	if len(rep.Violations) != 1 {
+		t.Fatalf("want exactly one cycle violation, got %v", rep.Violations)
+	}
+	d := rep.Violations[0].Desc
+	if strings.Contains(d, "T3") || strings.Contains(d, "T4") {
+		t.Errorf("cycle not minimal: %s", d)
+	}
+	if !strings.Contains(d, "T1") || !strings.Contains(d, "T2") {
+		t.Errorf("cycle missing members: %s", d)
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	rep := Check(nil)
+	if !rep.Clean() || rep.Txns != 0 {
+		t.Fatalf("empty history: %+v", rep)
+	}
+}

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"treaty/internal/simnet"
+)
+
+// Network-adversary faults: rounds that drive the simnet adversary
+// building blocks (Delayer, duplication, Recorder replay, Corrupter,
+// partitions) against live 2PC traffic. Unlike the knob-based
+// chaosAdversary faults, these install real simnet adversaries into the
+// harness's Holder slot, exercising the exact attack surface the sealed
+// channel (AEAD + per-op replay cache) is supposed to neutralize. The
+// audited soak then proves neutralization end to end: whatever the
+// adversary did, the committed history stayed serializable.
+
+// advDelayFault holds every packet for a fixed delay — long enough to
+// push calls into their timeout/retry paths without dropping anything.
+type advDelayFault struct{ delay time.Duration }
+
+func (f advDelayFault) Name() string { return fmt.Sprintf("adv-delay-%v", f.delay) }
+func (f advDelayFault) Inject(h *Harness) {
+	h.hold.Set(&simnet.Delayer{Delay: f.delay})
+}
+func (f advDelayFault) Lift(h *Harness) error {
+	h.hold.Set(nil)
+	return nil
+}
+
+// advDupFault delivers every packet three times (original + 2): the
+// (node, tx, op) replay cache must dedup every duplicate request and
+// the response path must tolerate stale responses.
+type advDupFault struct{}
+
+func (advDupFault) Name() string      { return "adv-duplicate" }
+func (advDupFault) Inject(h *Harness) { h.adv.set(0, 0, 2) }
+func (advDupFault) Lift(h *Harness) error {
+	h.adv.reset()
+	return nil
+}
+
+// advReplayFault records the round's traffic and replays the entire
+// capture — requests and responses, impersonating the original senders
+// — after the round's traffic stops. Replayed requests must hit the
+// dedup cache (or execute as garbage transactions the janitor
+// reclaims); replayed responses must land as stale. The subsequent
+// drain/verify/audit proves none of it perturbed committed state.
+type advReplayFault struct{ rec *simnet.Recorder }
+
+func (f *advReplayFault) Name() string { return "adv-replay" }
+func (f *advReplayFault) Inject(h *Harness) {
+	f.rec = &simnet.Recorder{Limit: 4096}
+	h.hold.Set(f.rec)
+}
+func (f *advReplayFault) Lift(h *Harness) error {
+	h.hold.Set(nil)
+	if err := f.rec.Replay(h.cluster.Net()); err != nil {
+		return fmt.Errorf("chaos: replaying %d captured packets: %w", len(f.rec.Captured()), err)
+	}
+	h.cfg.Logf("chaos: replayed %d captured packets", len(f.rec.Captured()))
+	return nil
+}
+
+// advCorruptFault flips a byte in a fraction of packets. Every corrupted
+// sealed message must fail authentication (erpc.msg.auth_dropped) —
+// never decode into a different request.
+type advCorruptFault struct{ seed int64 }
+
+func (f advCorruptFault) Name() string { return "adv-corrupt" }
+func (f advCorruptFault) Inject(h *Harness) {
+	h.hold.Set(simnet.NewCorrupter(0.20, f.seed))
+}
+func (f advCorruptFault) Lift(h *Harness) error {
+	h.hold.Set(nil)
+	return nil
+}
+
+// AdversaryScript builds the network-adversary round mix: delay,
+// duplication, capture-and-replay, a partition, payload corruption, and
+// the combined delay+dup+loss round — cycled across nodes. seed keys
+// the corrupter so runs replay deterministically.
+func AdversaryScript(rounds, nodes int, seed int64) []Fault {
+	if nodes < 2 {
+		nodes = 2
+	}
+	script := make([]Fault, 0, rounds)
+	for i := 0; len(script) < rounds; i++ {
+		cycle := []Fault{
+			advDelayFault{delay: 3 * time.Millisecond},
+			advDupFault{},
+			&advReplayFault{},
+			partitionFault{node: i % nodes},
+			advCorruptFault{seed: seed + int64(i)},
+			delayDupFault{},
+		}
+		for _, f := range cycle {
+			if len(script) == rounds {
+				break
+			}
+			script = append(script, f)
+		}
+	}
+	return script
+}

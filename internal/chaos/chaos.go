@@ -11,15 +11,18 @@ package chaos
 
 import (
 	"fmt"
-	"math/rand"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
+	"treaty/internal/audit"
 	"treaty/internal/core"
 	"treaty/internal/obs"
+	"treaty/internal/simnet"
 	"treaty/internal/twopc"
 	"treaty/internal/vfs"
+	"treaty/internal/workload"
 )
 
 // Config tunes a soak run. The zero value of every field selects a
@@ -66,6 +69,24 @@ type Config struct {
 	// ClogSync enables per-append Clog fsync (the crash-model soak needs
 	// acknowledged coordinator records to be power-cut durable).
 	ClogSync bool
+	// Audit records every client-observed operation into an
+	// audit.Recorder and runs the serialization-graph checker at the end
+	// of the soak: stale reads, lost updates, write skew, and dependency
+	// cycles become hard failures instead of silently passing the
+	// balance sum.
+	Audit bool
+}
+
+// SeedFromEnv returns the soak seed: the TREATY_SEED environment
+// variable when set (so a failure's printed seed replays exactly), else
+// def. Invalid values fall back to def.
+func SeedFromEnv(def int64) int64 {
+	if s := os.Getenv("TREATY_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v != 0 {
+			return v
+		}
+	}
+	return def
 }
 
 func (c Config) withDefaults() Config {
@@ -126,7 +147,13 @@ type Harness struct {
 	cfg     Config
 	cluster *core.Cluster
 	adv     *chaosAdversary
-	rng     *rand.Rand
+	// hold is a second, swappable adversary slot chained after adv:
+	// adversary-script rounds install simnet building blocks (Recorder,
+	// Corrupter, Delayer) here without disturbing the knob adversary.
+	hold *simnet.Holder
+	// rec captures the client-observed history when Config.Audit is set
+	// (nil otherwise; the recorder API is nil-safe).
+	rec *audit.Recorder
 	// fsByNode holds each node's disk-fault injector (nil without
 	// Config.DiskFaults). Indexed by node id; shared across restarts.
 	fsByNode []*vfs.FaultFS
@@ -172,16 +199,23 @@ func New(cfg Config) (*Harness, error) {
 		cfg:       cfg,
 		cluster:   cluster,
 		adv:       newChaosAdversary(cfg.Seed),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		hold:      &simnet.Holder{},
 		committed: make([]uint64, cfg.Workers),
 		aborted:   make([]uint64, cfg.Workers),
 		fsByNode:  fsByNode,
 	}
-	cluster.Net().SetAdversary(h.adv)
+	if cfg.Audit {
+		h.rec = audit.NewRecorder()
+	}
+	cluster.Net().SetAdversary(simnet.Chain{h.adv, h.hold})
+	cfg.Logf("chaos: seed=%d audit=%v (set TREATY_SEED=%d to replay)", cfg.Seed, cfg.Audit, cfg.Seed)
 	if err := h.seedAccounts(); err != nil {
 		_ = cluster.Stop()
 		return nil, err
 	}
+	// Everything after this fence may assume the seed writes are durable
+	// and visible: a later read missing a seeded key is a violation.
+	h.rec.Fence()
 	return h, nil
 }
 
@@ -199,39 +233,64 @@ func (h *Harness) NodeFS(i int) *vfs.FaultFS {
 	return h.fsByNode[i]
 }
 
-func accountKey(i int) []byte { return []byte(fmt.Sprintf("chaos/acct/%04d", i)) }
-func workerKey(i int) []byte  { return []byte(fmt.Sprintf("chaos/worker/%d", i)) }
+func accountKey(i int) []byte { return workload.BankAccountKey(i) }
+func workerKey(i int) []byte  { return workload.BankWorkerKey(i) }
 
-// seedAccounts funds every account in one transaction per shard-friendly
-// batch (a single transaction spanning all accounts is fine on an
-// unfaulted cluster).
+// outcomeOf maps a finished distributed transaction to its audit
+// classification. err is what the client saw from Commit (nil = ok);
+// the mapping leans on twopc's soundness guarantee: only definite
+// aborts (rollback before prepare) may claim OutcomeAborted.
+func outcomeOf(txn *twopc.DistTxn, err error) audit.Outcome {
+	if err == nil {
+		return audit.OutcomeCommitted
+	}
+	switch txn.Outcome() {
+	case twopc.TxnAborted:
+		return audit.OutcomeAborted
+	case twopc.TxnCommitted:
+		return audit.OutcomeCommitted
+	default:
+		return audit.OutcomeIndeterminate
+	}
+}
+
+// seedAccounts funds every account and zeroes every worker counter in
+// one transaction (a single transaction spanning all accounts is fine
+// on an unfaulted cluster). The seed writes anchor every audited
+// version chain.
 func (h *Harness) seedAccounts() error {
 	for attempt := 0; attempt < 5; attempt++ {
+		rec := h.rec.Begin(-1)
 		txn := h.cluster.Node(0).Begin(nil)
 		ok := true
-		for i := 0; i < h.cfg.Accounts; i++ {
-			if err := txn.Put(accountKey(i), []byte(strconv.FormatInt(h.cfg.InitialBalance, 10))); err != nil {
-				ok = false
-				break
-			}
+		for i := 0; i < h.cfg.Accounts && ok; i++ {
+			v := rec.Write(accountKey(i), strconv.FormatInt(h.cfg.InitialBalance, 10))
+			ok = txn.Put(accountKey(i), v) == nil
+		}
+		for w := 0; w < h.cfg.Workers && ok; w++ {
+			v := rec.Write(workerKey(w), "0")
+			ok = txn.Put(workerKey(w), v) == nil
 		}
 		if ok {
-			if err := txn.Commit(); err == nil {
+			err := txn.Commit()
+			rec.End(outcomeOf(txn, err))
+			if err == nil {
 				return nil
 			}
 		} else {
 			_ = txn.Rollback()
+			rec.End(audit.OutcomeAborted)
 		}
 	}
 	return fmt.Errorf("chaos: seeding accounts failed")
 }
 
 // pickNode returns a live node to coordinate a transaction, or nil when
-// every node is down (the worker then just retries later).
-func (h *Harness) pickNode(r *rand.Rand) *core.Node {
+// every node is down (the worker then just retries later). start seeds
+// the rotation so workers spread across coordinators.
+func (h *Harness) pickNode(start int) *core.Node {
 	h.nodesMu.RLock()
 	defer h.nodesMu.RUnlock()
-	start := r.Intn(h.cluster.Nodes())
 	for k := 0; k < h.cluster.Nodes(); k++ {
 		if n := h.cluster.Node((start + k) % h.cluster.Nodes()); n != nil {
 			return n
@@ -265,58 +324,80 @@ func (h *Harness) restartNode(i int) error {
 	return fmt.Errorf("chaos: restarting node %d: %w", i, lastErr)
 }
 
-// transfer runs one bank transfer plus the worker's commit-counter write
-// inside a single distributed transaction.
-func (h *Harness) transfer(worker int, r *rand.Rand) error {
-	n := h.pickNode(r)
+// transfer runs one bank transfer plus the worker's commit-counter
+// read-modify-write inside a single distributed transaction. Every
+// operation is recorded into the audit history (when enabled), and
+// every write is an RMW of what the transaction just read — that
+// parentage is what lets the checker reconstruct version orders.
+func (h *Harness) transfer(worker int, tr workload.BankTransfer, start int) error {
+	n := h.pickNode(start)
 	if n == nil {
 		return fmt.Errorf("chaos: no live node")
 	}
-	from := r.Intn(h.cfg.Accounts)
-	to := r.Intn(h.cfg.Accounts)
-	for to == from {
-		to = r.Intn(h.cfg.Accounts)
-	}
-	amount := int64(1 + r.Intn(10))
-
+	rec := h.rec.Begin(worker)
 	txn := n.Begin(nil)
 	abort := func(err error) error {
 		_ = txn.Rollback()
+		rec.End(audit.OutcomeAborted)
 		return err
 	}
-	src, err := readBalance(txn, from)
+	src, err := readBalance(txn, rec, tr.From)
 	if err != nil {
 		return abort(err)
 	}
-	dst, err := readBalance(txn, to)
+	dst, err := readBalance(txn, rec, tr.To)
 	if err != nil {
 		return abort(err)
 	}
-	if err := txn.Put(accountKey(from), []byte(strconv.FormatInt(src-amount, 10))); err != nil {
+	if err := txn.Put(accountKey(tr.From), rec.Write(accountKey(tr.From), strconv.FormatInt(src-tr.Amount, 10))); err != nil {
 		return abort(err)
 	}
-	if err := txn.Put(accountKey(to), []byte(strconv.FormatInt(dst+amount, 10))); err != nil {
+	if err := txn.Put(accountKey(tr.To), rec.Write(accountKey(tr.To), strconv.FormatInt(dst+tr.Amount, 10))); err != nil {
 		return abort(err)
 	}
 	// The commit counter rides in the same transaction: if the commit is
 	// durable, this write must be durable too (the "no committed write
-	// lost" probe).
-	next := h.committed[worker] + 1
-	if err := txn.Put(workerKey(worker), []byte(strconv.FormatUint(next, 10))); err != nil {
+	// lost" probe). An RMW of the stored counter, which may be AHEAD of
+	// the worker's observed count (recovery can land commits the client
+	// saw as failed) but never behind.
+	cnt, err := readCounter(txn, rec, worker)
+	if err != nil {
 		return abort(err)
 	}
-	return txn.Commit()
+	if err := txn.Put(workerKey(worker), rec.Write(workerKey(worker), strconv.FormatUint(cnt+1, 10))); err != nil {
+		return abort(err)
+	}
+	err = txn.Commit()
+	rec.End(outcomeOf(txn, err))
+	return err
 }
 
-func readBalance(txn *twopc.DistTxn, acct int) (int64, error) {
+// readBalance reads one account inside txn, recording the observation.
+func readBalance(txn *twopc.DistTxn, rec *audit.TxnRec, acct int) (int64, error) {
 	v, found, err := txn.Get(accountKey(acct))
 	if err != nil {
 		return 0, err
 	}
+	rec.Read(accountKey(acct), v, found)
 	if !found {
 		return 0, fmt.Errorf("chaos: account %d missing", acct)
 	}
-	return strconv.ParseInt(string(v), 10, 64)
+	return strconv.ParseInt(audit.Base(string(v)), 10, 64)
+}
+
+// readCounter reads one worker's commit counter, recording the
+// observation. A missing counter reads as zero (pre-audit histories
+// started it lazily), though seedAccounts now always writes it.
+func readCounter(txn *twopc.DistTxn, rec *audit.TxnRec, worker int) (uint64, error) {
+	v, found, err := txn.Get(workerKey(worker))
+	if err != nil {
+		return 0, err
+	}
+	rec.Read(workerKey(worker), v, found)
+	if !found {
+		return 0, nil
+	}
+	return strconv.ParseUint(audit.Base(string(v)), 10, 64)
 }
 
 // runTraffic runs the worker pool for d, returning aggregate outcomes.
@@ -328,9 +409,11 @@ func (h *Harness) runTraffic(d time.Duration) (commits, aborts uint64) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			r := rand.New(rand.NewSource(h.cfg.Seed + int64(w)*7919 + int64(h.committed[w])))
+			bank := workload.NewBank(
+				workload.BankConfig{Accounts: h.cfg.Accounts},
+				h.cfg.Seed+int64(w)*7919+int64(h.committed[w]))
 			for time.Now().Before(stop) {
-				if err := h.transfer(w, r); err != nil {
+				if err := h.transfer(w, bank.Next(), bank.Intn(h.cfg.Nodes)); err != nil {
 					h.aborted[w]++
 					results[w].a++
 					continue
@@ -352,12 +435,7 @@ func (h *Harness) runTraffic(d time.Duration) (commits, aborts uint64) {
 // every live node; errors are tolerated (the drain loop retries).
 func (h *Harness) recoverAll() {
 	h.nodesMu.RLock()
-	live := make([]*core.Node, 0, h.cluster.Nodes())
-	for i := 0; i < h.cluster.Nodes(); i++ {
-		if n := h.cluster.Node(i); n != nil {
-			live = append(live, n)
-		}
-	}
+	live := h.cluster.LiveNodes()
 	h.nodesMu.RUnlock()
 	for _, n := range live {
 		if err := n.Recover(); err != nil {
@@ -410,17 +488,21 @@ func (h *Harness) drain() (time.Duration, error) {
 }
 
 // verify checks the global invariants on a quiesced cluster: the balance
-// sum is conserved, and no worker's observed commit was lost.
+// sum is conserved, and no worker's observed commit was lost. The
+// verification reads are themselves recorded as a read-only audited
+// transaction — a stale post-round state becomes an anti-dependency
+// cycle the checker reports, not just a wrong sum.
 func (h *Harness) verify() error {
 	var txn *twopc.DistTxn
 	var sum int64
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
+		rec := h.rec.Begin(-2)
 		txn = h.cluster.Node(0).Begin(nil)
 		sum = 0
 		ok := true
 		for i := 0; i < h.cfg.Accounts; i++ {
-			bal, err := readBalance(txn, i)
+			bal, err := readBalance(txn, rec, i)
 			if err != nil {
 				lastErr = err
 				ok = false
@@ -430,28 +512,28 @@ func (h *Harness) verify() error {
 		}
 		if !ok {
 			_ = txn.Rollback()
+			rec.End(audit.OutcomeAborted)
 			time.Sleep(50 * time.Millisecond)
 			continue
 		}
 
 		counters := make([]uint64, h.cfg.Workers)
 		for w := 0; w < h.cfg.Workers; w++ {
-			v, found, err := txn.Get(workerKey(w))
-			if err != nil {
-				lastErr = err
+			counters[w], lastErr = readCounter(txn, rec, w)
+			if lastErr != nil {
 				ok = false
 				break
-			}
-			if found {
-				counters[w], _ = strconv.ParseUint(string(v), 10, 64)
 			}
 		}
 		if !ok {
 			_ = txn.Rollback()
+			rec.End(audit.OutcomeAborted)
 			time.Sleep(50 * time.Millisecond)
 			continue
 		}
-		if err := txn.Commit(); err != nil {
+		err := txn.Commit()
+		rec.End(outcomeOf(txn, err))
+		if err != nil {
 			lastErr = err
 			time.Sleep(50 * time.Millisecond)
 			continue
@@ -535,10 +617,53 @@ func (h *Harness) checkMetricLaws() error {
 	}
 }
 
+// Auditor exposes the history recorder (nil when Config.Audit is off);
+// tests drive extra audited traffic through it.
+func (h *Harness) Auditor() *audit.Recorder { return h.rec }
+
+// AuditReport runs the serializability checker over the history so far
+// (nil when auditing is off). Call at quiescence.
+func (h *Harness) AuditReport() *audit.Report {
+	if h.rec == nil {
+		return nil
+	}
+	return audit.Check(h.rec.History())
+}
+
+// AuditCheck runs the checker and converts violations into an error
+// carrying the reproduction seed.
+func (h *Harness) AuditCheck() error {
+	rep := h.AuditReport()
+	if rep == nil {
+		return nil
+	}
+	if open := h.rec.Open(); open != 0 {
+		return fmt.Errorf("chaos: audit ran with %d transactions still open (TREATY_SEED=%d)", open, h.cfg.Seed)
+	}
+	h.cfg.Logf("chaos: %s", rep)
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("chaos: serializability violated (replay with TREATY_SEED=%d): %w", h.cfg.Seed, err)
+	}
+	return nil
+}
+
 // Run executes the scripted soak: for each fault, inject, run traffic,
 // lift, drain, verify. It returns per-round stats and the first fatal
-// invariant violation.
+// invariant violation; with Config.Audit set the whole history must
+// also pass the serializability checker. Any error names the seed that
+// replays the run.
 func (h *Harness) Run(script []Fault) ([]RoundStats, error) {
+	stats, err := h.run(script)
+	if err != nil {
+		return stats, fmt.Errorf("%w [replay with TREATY_SEED=%d]", err, h.cfg.Seed)
+	}
+	if err := h.AuditCheck(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+func (h *Harness) run(script []Fault) ([]RoundStats, error) {
 	stats := make([]RoundStats, 0, len(script))
 	for round, fault := range script {
 		h.cfg.Logf("chaos: round %d/%d: %s", round+1, len(script), fault.Name())

@@ -237,6 +237,19 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
+// LiveNodes returns the currently running nodes (crashed slots are
+// skipped). The caller must serialize against CrashNode/RestartNode —
+// the chaos harness holds its node lock across both.
+func (c *Cluster) LiveNodes() []*Node {
+	live := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n != nil {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
 // NodeAddr returns node i's RPC address — valid even while the node is
 // crashed (it comes from the boot configuration, not the live node).
 func (c *Cluster) NodeAddr(i int) string { return c.nodeCfg[i].Addr }

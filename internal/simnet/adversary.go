@@ -22,17 +22,23 @@ type Recorder struct {
 	captured []Packet
 	// Filter selects which packets to capture; nil captures everything.
 	Filter func(Packet) bool
+	// Limit caps how many packets are captured (0 = unbounded); soaks
+	// set it so a capture round cannot hold a whole round of traffic in
+	// memory.
+	Limit int
 }
 
 // Interpose implements Adversary: record and pass through.
 func (r *Recorder) Interpose(pkt Packet) Verdict {
 	if r.Filter == nil || r.Filter(pkt) {
 		r.mu.Lock()
-		r.captured = append(r.captured, Packet{
-			From: pkt.From,
-			To:   pkt.To,
-			Data: append([]byte(nil), pkt.Data...),
-		})
+		if r.Limit <= 0 || len(r.captured) < r.Limit {
+			r.captured = append(r.captured, Packet{
+				From: pkt.From,
+				To:   pkt.To,
+				Data: append([]byte(nil), pkt.Data...),
+			})
+		}
 		r.mu.Unlock()
 	}
 	return Verdict{}
@@ -120,6 +126,35 @@ func (d *Delayer) Interpose(pkt Packet) Verdict {
 }
 
 var _ Adversary = (*Delayer)(nil)
+
+// Holder is a thread-safe swappable adversary slot: the network keeps a
+// stable Adversary reference while soak scripts swap the inner one per
+// round (a Recorder this round, a Corrupter the next). A nil inner
+// adversary passes traffic through untouched.
+type Holder struct {
+	mu    sync.RWMutex
+	inner Adversary
+}
+
+// Set swaps the inner adversary (nil clears it).
+func (h *Holder) Set(a Adversary) {
+	h.mu.Lock()
+	h.inner = a
+	h.mu.Unlock()
+}
+
+// Interpose implements Adversary.
+func (h *Holder) Interpose(pkt Packet) Verdict {
+	h.mu.RLock()
+	a := h.inner
+	h.mu.RUnlock()
+	if a == nil {
+		return Verdict{}
+	}
+	return a.Interpose(pkt)
+}
+
+var _ Adversary = (*Holder)(nil)
 
 // Chain composes adversaries; the first verdict that takes any action
 // wins (drop beats mutate beats delay beats duplicate, evaluated in

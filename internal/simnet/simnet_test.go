@@ -241,6 +241,56 @@ func TestRecorderReplay(t *testing.T) {
 	}
 }
 
+func TestRecorderLimit(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	rec := &Recorder{Limit: 2}
+	n.SetAdversary(rec)
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(rec.Captured()); got != 2 {
+		t.Errorf("captured %d packets, want Limit=2", got)
+	}
+}
+
+func TestHolderSwap(t *testing.T) {
+	n, a, b := pair(t, LinkConfig{})
+	hold := &Holder{}
+	n.SetAdversary(hold)
+
+	// Empty holder passes through.
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap in a dropper without touching the network's adversary.
+	hold.Set(FuncAdversary(func(Packet) Verdict { return Verdict{Drop: true} }))
+	if err := a.Send("b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(50 * time.Millisecond); err == nil {
+		t.Fatal("holder-installed dropper did not drop")
+	}
+
+	// Clear and traffic flows again.
+	hold.Set(nil)
+	if err := a.Send("b", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := b.RecvTimeout(time.Second)
+	if err != nil || string(pkt.Data) != "z" {
+		t.Fatalf("after clear: pkt=%v err=%v", pkt, err)
+	}
+}
+
 func TestCorrupterAlwaysCorrupts(t *testing.T) {
 	n, a, b := pair(t, LinkConfig{})
 	n.SetAdversary(NewCorrupter(1.0, 7))

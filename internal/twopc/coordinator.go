@@ -216,11 +216,40 @@ type DistTxn struct {
 	parts map[string]bool
 	yield func()
 	done  bool
+	// outcome is the client-visible classification, set once by finish.
+	outcome TxnOutcome
 	// trace follows the transaction through the 2PC stage machine. Nil
 	// for recovery replays — those must not feed the tx.* conservation
 	// counters either (see coordMetrics).
 	trace *obs.Trace
 }
+
+// TxnOutcome classifies how a distributed transaction ended from the
+// client's point of view. The distinction between TxnAborted and
+// TxnIndeterminate is a durability argument, not a convenience: once
+// Commit has appended a prepare record, a coordinator crash can leave
+// that record behind and RecoverPending will re-drive the decision — a
+// transaction whose Commit returned an error may still commit later.
+// Only the Rollback path (no prepare record can exist) and transactions
+// that never reached Commit are definite aborts. History auditors rely
+// on this classification being sound.
+type TxnOutcome uint8
+
+const (
+	// TxnPending: the transaction has not finished.
+	TxnPending TxnOutcome = iota
+	// TxnCommitted: Commit returned success.
+	TxnCommitted
+	// TxnAborted: the transaction definitely did not and cannot commit.
+	TxnAborted
+	// TxnIndeterminate: Commit failed from the client's view, but a
+	// prepare record may exist and recovery may still commit it.
+	TxnIndeterminate
+)
+
+// Outcome returns the client-visible outcome (TxnPending until Commit
+// or Rollback returns).
+func (t *DistTxn) Outcome() TxnOutcome { return t.outcome }
 
 // Begin starts a distributed transaction. yield is invoked while waiting
 // for remote replies (fiber cooperation); may be nil.
@@ -254,6 +283,19 @@ func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
 // (Commit or Rollback); recovery replays never reach it.
 func (t *DistTxn) finish(committed bool, reason string) {
 	t.c.met.inflight.Add(-1)
+	switch {
+	case committed:
+		t.outcome = TxnCommitted
+	case reason == "client_rollback":
+		// Rollback never logs a prepare record, so recovery can never
+		// resurrect this transaction: a definite abort.
+		t.outcome = TxnAborted
+	default:
+		// Every failed Commit path is indeterminate: the prepare record
+		// (and possibly the decision) may be durable, and RecoverPending
+		// is entitled to commit it after the fact.
+		t.outcome = TxnIndeterminate
+	}
 	if committed {
 		t.c.met.committed.Inc()
 		t.trace.Finish(obs.OutcomeCommitted, reason)

@@ -750,3 +750,59 @@ func (c *manualCounter) Stabilize(uint64)        {}
 func (c *manualCounter) WaitStable(uint64) error { return nil }
 func (c *manualCounter) StableValue() uint64     { return c.v.Load() }
 func (c *manualCounter) set(v uint64)            { c.v.Store(v) }
+
+// TestDistTxnOutcome pins the outcome classification the serializability
+// auditor depends on: a clean commit is Committed, a client rollback is
+// definitely Aborted (no prepare record was ever logged), and a failed
+// Commit call is Indeterminate — never Aborted — because RecoverPending
+// may still push the decision through after the error was returned.
+func TestDistTxnOutcome(t *testing.T) {
+	tc := newTestCluster(t, 3)
+
+	tx := tc.nodes[0].coord.Begin(nil)
+	if tx.Outcome() != TxnPending {
+		t.Fatalf("fresh txn outcome = %v, want pending", tx.Outcome())
+	}
+	if err := tx.Put([]byte("oc-commit"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Outcome() != TxnCommitted {
+		t.Fatalf("committed txn outcome = %v, want committed", tx.Outcome())
+	}
+
+	tx = tc.nodes[0].coord.Begin(nil)
+	if err := tx.Put([]byte("oc-rollback"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Outcome() != TxnAborted {
+		t.Fatalf("rolled-back txn outcome = %v, want aborted", tx.Outcome())
+	}
+
+	// Write a key owned by node 2, crash node 2, then commit: the
+	// coordinator cannot reach the participant, Commit errors, and the
+	// outcome must be Indeterminate (recovery could still commit it).
+	victim := ""
+	for i := 0; ; i++ {
+		victim = fmt.Sprintf("oc-remote-%d", i)
+		if tc.router([]byte(victim)) == "node-2" {
+			break
+		}
+	}
+	tx = tc.nodes[0].coord.Begin(nil)
+	if err := tx.Put([]byte(victim), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tc.crashNode(2)
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit against a crashed participant succeeded")
+	}
+	if tx.Outcome() != TxnIndeterminate {
+		t.Fatalf("failed commit outcome = %v, want indeterminate", tx.Outcome())
+	}
+}

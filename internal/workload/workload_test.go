@@ -340,3 +340,42 @@ func TestIperfStackLabels(t *testing.T) {
 		t.Error("TPCC txn label")
 	}
 }
+
+func TestBankTransfers(t *testing.T) {
+	b := NewBank(BankConfig{Accounts: 8, MaxAmount: 5}, 42)
+	for i := 0; i < 1000; i++ {
+		tr := b.Next()
+		if tr.From == tr.To {
+			t.Fatal("self-transfer generated")
+		}
+		if tr.From < 0 || tr.From >= 8 || tr.To < 0 || tr.To >= 8 {
+			t.Fatalf("account out of range: %+v", tr)
+		}
+		if tr.Amount < 1 || tr.Amount > 5 {
+			t.Fatalf("amount out of range: %+v", tr)
+		}
+	}
+}
+
+func TestBankDeterministic(t *testing.T) {
+	a := NewBank(BankConfig{}, 7)
+	b := NewBank(BankConfig{}, 7)
+	for i := 0; i < 100; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, x, y)
+		}
+		if a.Intn(10) != b.Intn(10) {
+			t.Fatalf("auxiliary RNG diverged at %d", i)
+		}
+	}
+	if NewBank(BankConfig{}, 7).Next() == NewBank(BankConfig{}, 8).Next() {
+		t.Log("different seeds produced equal first transfers (possible, but suspicious)")
+	}
+	if got := string(BankAccountKey(3)); got != "bank/acct/0003" {
+		t.Fatalf("account key = %q", got)
+	}
+	if got := string(BankWorkerKey(2)); got != "bank/worker/2" {
+		t.Fatalf("worker key = %q", got)
+	}
+}
