@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary crashpoint fuzz vet
+.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary crashpoint fuzz vet bench-baseline bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,10 @@ race:
 
 # Race-detector pass over the observability layer and everything that
 # feeds it (metrics registry, RPC, 2PC, chaos invariants), plus the
-# filesystem fault layer and crash-point harness.
+# filesystem fault layer, crash-point harness, and the storage engine
+# with its block cache (concurrent Get/compaction/invalidation hammer).
 test-race:
-	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/... ./internal/vfs/... ./internal/audit/...
+	$(GO) test -race -short ./internal/obs/... ./internal/erpc/... ./internal/twopc/... ./internal/chaos/... ./internal/vfs/... ./internal/audit/... ./internal/lsm/...
 
 # Full 20-round chaos soak with per-round logging.
 chaos:
@@ -59,3 +60,14 @@ crashpoint:
 
 vet:
 	$(GO) vet ./...
+
+# Capture the committed performance baseline (Fig. 4, Fig. 5 YCSB panels
+# incl. a no-cache reference arm, block-cache ablation) into
+# BENCH_baseline.json. See EXPERIMENTS.md for the comparison workflow.
+bench-baseline:
+	$(GO) run ./cmd/treaty-bench -exp baseline -baseline-out BENCH_baseline.json
+
+# One-iteration benchmark smoke: the ablations must still run and the
+# block-cache arm must be non-vacuous (it b.Fatals on zero cache hits).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation_BlockCache' -benchtime=1x .

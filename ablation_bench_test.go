@@ -152,6 +152,27 @@ func BenchmarkAblation_HostVsEnclaveBuffers(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_BlockCache compares the engine read path at the
+// SCONE + encryption level with and without the authenticated block
+// cache (read-heavy YCSB): a hit skips the host read, the integrity
+// check, and the AES-GCM block decryption.
+func BenchmarkAblation_BlockCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunBlockCacheAblation(bench.BlockCacheConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Hits == 0 {
+			b.Fatalf("vacuous run: cache-on arm recorded zero hits (%d lookups)", r.Lookups)
+		}
+		b.Log(bench.PrintBlockCache(r))
+		b.ReportMetric(r.OnTps, "tps-cache-on")
+		b.ReportMetric(r.OffTps, "tps-cache-off")
+		b.ReportMetric(r.Speedup, "speedup")
+		b.ReportMetric(r.HitRate*100, "hit-%")
+	}
+}
+
 // BenchmarkAblation_SecurityLevels isolates the storage-engine cost of
 // each security level with no concurrency: one writer, sequential
 // commits.

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1]
+//	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1|baseline]
 //	             [-duration 2s] [-clients 32] [-entries 200000]
-//	             [-metrics out.json]
+//	             [-metrics out.json] [-baseline-out BENCH_baseline.json]
+//
+// -exp baseline captures the committed performance baseline: Fig. 4, the
+// Fig. 5 YCSB panels (with a no-cache reference arm), and the block-cache
+// ablation, written as JSON to -baseline-out (see EXPERIMENTS.md).
 package main
 
 import (
@@ -21,12 +25,39 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, fig7, fig8, table1")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, fig7, fig8, table1, baseline")
 	duration := flag.Duration("duration", 2*time.Second, "measurement duration per version")
 	clients := flag.Int("clients", 32, "concurrent clients")
 	entries := flag.Int("entries", 200000, "log entries for the recovery experiment (paper: 800000)")
 	metricsOut := flag.String("metrics", "", "write machine-readable per-run metrics reports (JSON) to this file")
+	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for -exp baseline")
 	flag.Parse()
+
+	// The baseline capture is its own mode: it runs panels with extra
+	// arms (no-cache reference) and writes one JSON snapshot, not the
+	// printed figures.
+	if *exp == "baseline" {
+		host, _ := os.Hostname()
+		b, err := bench.RunBaseline(bench.BaselineConfig{
+			Clients:    *clients,
+			Duration:   *duration,
+			CapturedAt: time.Now(),
+			Host:       host,
+		})
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		js, err := b.JSON()
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselineOut, append(js, '\n'), 0o644); err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		fmt.Printf("wrote baseline to %s\n", *baselineOut)
+		fmt.Print(bench.PrintBlockCache(b.BlockCache))
+		return
+	}
 
 	var allMetrics []bench.Measurement
 	captureMetrics := func(ms []bench.Measurement) {

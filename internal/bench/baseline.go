@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Baseline capture: one machine-readable snapshot of the benchmark
+// suite's key panels, committed alongside the code so later PRs can
+// compare against it (see EXPERIMENTS.md). The capture covers the
+// protocol-only panel (Fig. 4), the distributed read-heavy and
+// write-heavy YCSB panels (Fig. 5) with per-node digests including
+// cache hit rates, a no-cache reference arm of the read-heavy panel,
+// and the block-cache ablation.
+
+// BaselineSchemaVersion identifies the JSON layout; bump on
+// incompatible changes so comparisons fail loudly instead of silently
+// misreading fields.
+const BaselineSchemaVersion = 1
+
+// BaselinePanel is one measured panel.
+type BaselinePanel struct {
+	Measurements []Measurement `json:"measurements"`
+}
+
+// Baseline is the committed snapshot.
+type Baseline struct {
+	SchemaVersion int    `json:"schema_version"`
+	CapturedAt    string `json:"captured_at"`
+	// Host hints at comparability: baselines from different machines
+	// compare shapes, not absolute numbers.
+	Host string `json:"host,omitempty"`
+
+	Fig4                 BaselinePanel    `json:"fig4_2pc_protocol"`
+	Fig5ReadHeavy        BaselinePanel    `json:"fig5_ycsb_80r"`
+	Fig5WriteHeavy       BaselinePanel    `json:"fig5_ycsb_20r"`
+	Fig5ReadHeavyNoCache BaselinePanel    `json:"fig5_ycsb_80r_no_cache"`
+	BlockCache           BlockCacheResult `json:"block_cache_ablation"`
+}
+
+// BaselineConfig tunes the capture.
+type BaselineConfig struct {
+	// Clients and Duration apply to every panel (defaults 32 and 2s).
+	Clients  int
+	Duration time.Duration
+	// CapturedAt stamps the snapshot (the caller supplies the clock).
+	CapturedAt time.Time
+	// Host labels the capture machine (optional).
+	Host string
+}
+
+// RunBaseline measures every panel and returns the snapshot.
+func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
+	if cfg.Clients == 0 {
+		cfg.Clients = 32
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	b := &Baseline{
+		SchemaVersion: BaselineSchemaVersion,
+		CapturedAt:    cfg.CapturedAt.UTC().Format(time.RFC3339),
+		Host:          cfg.Host,
+	}
+
+	fig4, err := RunFig4(Fig4Config{Clients: cfg.Clients, Duration: cfg.Duration})
+	if err != nil {
+		return nil, err
+	}
+	b.Fig4.Measurements = fig4
+
+	dist := DistConfig{Clients: cfg.Clients, Duration: cfg.Duration}
+	readHeavy, err := RunFig5(dist, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	b.Fig5ReadHeavy.Measurements = readHeavy
+
+	writeHeavy, err := RunFig5(dist, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	b.Fig5WriteHeavy.Measurements = writeHeavy
+
+	noCache := dist
+	noCache.BlockCacheBytes = -1
+	readHeavyNoCache, err := RunFig5(noCache, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	b.Fig5ReadHeavyNoCache.Measurements = readHeavyNoCache
+
+	abl, err := RunBlockCacheAblation(BlockCacheConfig{})
+	if err != nil {
+		return nil, err
+	}
+	b.BlockCache = abl
+	return b, nil
+}
+
+// JSON renders the baseline, indented for a readable committed file.
+func (b *Baseline) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}

@@ -44,6 +44,10 @@ type DistConfig struct {
 	Duration time.Duration
 	// Nodes is the cluster size (default 3).
 	Nodes int
+	// BlockCacheBytes sizes each node's authenticated block cache
+	// (0 = engine default, negative disables — the no-cache reference
+	// arm the baseline captures).
+	BlockCacheBytes int64
 }
 
 // withDefaults fills zero fields.
@@ -64,7 +68,7 @@ func (c DistConfig) withDefaults() DistConfig {
 // left at zero: goroutine handoffs on the measurement host already
 // exceed the paper's switch latency, and OS timers cannot model tens of
 // microseconds faithfully.
-func newBenchCluster(mode core.SecurityMode, nodes int) (*core.Cluster, error) {
+func newBenchCluster(mode core.SecurityMode, nodes int, blockCacheBytes int64) (*core.Cluster, error) {
 	return core.NewCluster(core.ClusterOptions{
 		Nodes: nodes,
 		Mode:  mode,
@@ -72,9 +76,10 @@ func newBenchCluster(mode core.SecurityMode, nodes int) (*core.Cluster, error) {
 		// Short lock timeout: TPC-C's hot warehouse/district rows rely
 		// on timeouts for deadlock resolution; long timeouts turn
 		// contention into multi-second stalls.
-		LockTimeout: 250 * time.Millisecond,
-		Workers:     8,
-		Seed:        21,
+		LockTimeout:     250 * time.Millisecond,
+		Workers:         8,
+		Seed:            21,
+		BlockCacheBytes: blockCacheBytes,
 	})
 }
 
@@ -83,7 +88,7 @@ func RunFig5(cfg DistConfig, readRatio float64) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	out := make([]Measurement, 0, 4)
 	for _, mode := range DistVersions() {
-		c, err := newBenchCluster(mode, cfg.Nodes)
+		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +183,18 @@ func loadDirect(c *core.Cluster, fill func(put func(k, v []byte))) error {
 	if ferr != nil {
 		return ferr
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	// Push the preload into SSTables: a memtable-resident key space would
+	// serve every measured read without touching the block path (or the
+	// cache), making the read-heavy panels storage-blind.
+	for i := 0; i < c.Nodes(); i++ {
+		if err := c.Node(i).DB().Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TPCCScale is the scaled-down-population TPC-C used by the harness: the
@@ -206,7 +222,7 @@ func RunFig3(cfg DistConfig, warehouses int) ([]Measurement, error) {
 	}
 	out := make([]Measurement, 0, 4)
 	for _, mode := range DistVersions() {
-		c, err := newBenchCluster(mode, cfg.Nodes)
+		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +284,16 @@ func loadTPCCDirect(c *core.Cluster, loader *workload.TPCC) error {
 	begin := func() workload.Txn {
 		return &directTxn{router: router, nodes: nodeFor, batches: map[string]*lsm.Batch{}}
 	}
-	return loader.Load(begin, 2000)
+	if err := loader.Load(begin, 2000); err != nil {
+		return err
+	}
+	// As in loadDirect: measured reads should go through the block path.
+	for i := 0; i < c.Nodes(); i++ {
+		if err := c.Node(i).DB().Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // directTxn is the loader's pseudo-transaction: puts are routed into

@@ -39,6 +39,11 @@ type NodeDigest struct {
 	// BloomFilterRate is the fraction of filtered point reads (bloom
 	// negatives / bloom checks), 0 when no SSTable was consulted.
 	BloomFilterRate float64 `json:"bloom_filter_rate"`
+	// CacheHitRate is the block cache hit fraction (hits / lookups), 0
+	// when the cache was disabled or never consulted; CacheLookups
+	// disambiguates those two cases.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheLookups uint64  `json:"cache_lookups"`
 
 	RPCRetries    uint64 `json:"rpc_retries"`
 	WorldSwitches uint64 `json:"world_switches"`
@@ -84,6 +89,10 @@ func DigestSnapshot(s obs.Snapshot) NodeDigest {
 	d.StabilizeWaitP99Ms = float64(s.Histograms["twopc.stabilize.wait_ns"].P99) / ms
 	if checks := s.Counter("lsm.bloom.checks"); checks > 0 {
 		d.BloomFilterRate = float64(s.Counter("lsm.bloom.negatives")) / float64(checks)
+	}
+	if lookups := s.Counter("lsm.cache.lookups"); lookups > 0 {
+		d.CacheLookups = lookups
+		d.CacheHitRate = float64(s.Counter("lsm.cache.hits")) / float64(lookups)
 	}
 	return d
 }

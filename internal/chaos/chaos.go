@@ -589,6 +589,27 @@ func nodeMetricLaws(addr string, s obs.Snapshot) string {
 	if app, stable := s.Gauge("lsm.wal.appended_lsn"), s.Gauge("lsm.wal.stable_lsn"); app < stable {
 		return fmt.Sprintf("%s: WAL law violated: appended_lsn=%d < stable_lsn=%d", addr, app, stable)
 	}
+	// Block cache (only when enabled: capacity gauge is 0 otherwise):
+	// every lookup resolves to exactly one of hit or miss, resident bytes
+	// stay within capacity, and every quarantined table purged its cached
+	// blocks before the corruption error propagated.
+	if capacity := s.Gauge("lsm.cache.capacity_bytes"); capacity > 0 {
+		lookups := s.Counter("lsm.cache.lookups")
+		hits := s.Counter("lsm.cache.hits")
+		misses := s.Counter("lsm.cache.misses")
+		if hits+misses != lookups {
+			return fmt.Sprintf("%s: cache law violated: hits=%d + misses=%d != lookups=%d",
+				addr, hits, misses, lookups)
+		}
+		if bytes := s.Gauge("lsm.cache.bytes"); bytes < 0 || bytes > capacity {
+			return fmt.Sprintf("%s: cache law violated: bytes=%d outside [0, capacity=%d]",
+				addr, bytes, capacity)
+		}
+		if q, p := s.Counter("lsm.quarantine.tables"), s.Counter("lsm.cache.quarantine_purges"); p != q {
+			return fmt.Sprintf("%s: cache law violated: quarantine_purges=%d != quarantined tables=%d",
+				addr, p, q)
+		}
+	}
 	return ""
 }
 

@@ -227,9 +227,19 @@ func (f *bitRotFault) Lift(h *Harness) error {
 		n := h.cluster.Node(f.node)
 		h.nodesMu.RUnlock()
 		if n != nil {
-			if detected := n.Snapshot().Counter("lsm.corruption.detected"); detected == 0 {
+			s := n.Snapshot()
+			if detected := s.Counter("lsm.corruption.detected"); detected == 0 {
 				return fmt.Errorf("chaos: node %d served %d bit-rotted reads with zero detected corruptions",
 					f.node, rotted)
+			}
+			// With the block cache enabled, every quarantined table must
+			// have purged its cached blocks — a warm cache serving blocks
+			// of a quarantined table would mask the corruption.
+			if s.Gauge("lsm.cache.capacity_bytes") > 0 {
+				if q, p := s.Counter("lsm.quarantine.tables"), s.Counter("lsm.cache.quarantine_purges"); p < q {
+					return fmt.Errorf("chaos: node %d quarantined %d tables but purged cached blocks for only %d",
+						f.node, q, p)
+				}
 			}
 		}
 	}

@@ -44,6 +44,9 @@ type ClusterOptions struct {
 	DisableGroupCommit bool
 	// LockShards overrides the lock-table shard count.
 	LockShards int
+	// BlockCacheBytes sizes each node's authenticated block cache
+	// (0 = engine default, negative disables — the cache ablation).
+	BlockCacheBytes int64
 	// CounterReplicas sizes the trusted counter protection group
 	// (0 = 3; only used in stabilization mode).
 	CounterReplicas int
@@ -193,6 +196,7 @@ func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
 		MemTableSize:       c.opts.MemTableSize,
 		DisableGroupCommit: c.opts.DisableGroupCommit,
 		LockShards:         c.opts.LockShards,
+		BlockCacheBytes:    c.opts.BlockCacheBytes,
 	}, nil
 }
 

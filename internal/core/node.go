@@ -77,6 +77,9 @@ type NodeConfig struct {
 	DisableGroupCommit bool
 	// LockShards overrides the lock-table shard count.
 	LockShards int
+	// BlockCacheBytes sizes the engine's authenticated block cache
+	// (0 = engine default, negative disables — the cache ablation).
+	BlockCacheBytes int64
 }
 
 // Node is one running Treaty node (Figure 1): the trusted components —
@@ -184,6 +187,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Counters:           counters,
 		MemTableSize:       cfg.MemTableSize,
 		DisableGroupCommit: cfg.DisableGroupCommit,
+		BlockCacheBytes:    cfg.BlockCacheBytes,
+		Pool:               n.pool,
 		Metrics:            n.reg,
 	})
 	if err != nil {

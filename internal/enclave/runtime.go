@@ -118,6 +118,10 @@ func NewSconeRuntime() *Runtime {
 // Mode returns the runtime's execution mode.
 func (rt *Runtime) Mode() Mode { return rt.mode }
 
+// EPCBudget returns the modelled enclave page cache size in bytes.
+// Enclave-resident allocations past this point pay paging penalties.
+func (rt *Runtime) EPCBudget() int64 { return rt.epcBudget }
+
 // Secure reports whether the runtime models enclave execution.
 func (rt *Runtime) Secure() bool { return rt.mode == ModeScone }
 

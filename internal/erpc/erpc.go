@@ -176,6 +176,11 @@ type Endpoint struct {
 	codec    *seal.MsgCodec
 	handlers [256]Handler
 
+	// pktTransport is cfg.Transport when it supports release-aware
+	// polling; nil otherwise. Cached once at construction so RunOnce does
+	// not pay a type assertion per packet.
+	pktTransport PacketTransport
+
 	mu      sync.Mutex
 	txq     []outMsg
 	pending map[uint64]*Pending
@@ -223,6 +228,7 @@ func NewEndpoint(cfg Config) (*Endpoint, error) {
 		txNotify: make(chan struct{}, 1),
 		replay:   newReplayCache(cfg.ReplayWindow),
 	}
+	ep.pktTransport, _ = cfg.Transport.(PacketTransport)
 	if cfg.Secure {
 		codec, err := seal.NewMsgCodec(cfg.NetworkKey)
 		if err != nil {
@@ -407,6 +413,22 @@ func (ep *Endpoint) RunOnce() int {
 	}
 	n := 0
 	for ; n < ep.cfg.RxBurst; n++ {
+		if ep.pktTransport != nil {
+			pkt, ok := ep.pktTransport.PollPacket()
+			if !ok {
+				break
+			}
+			ep.dispatch(pkt.From, pkt.Data)
+			// dispatch never retains the wire buffer on any branch: the
+			// secure path decrypts into fresh memory, the plaintext path
+			// copies payloads out before handing them to handlers or
+			// pending completions, and decode-failure/replay/auth-drop
+			// branches return without keeping a reference. The receive
+			// buffer is therefore recycled unconditionally — error paths
+			// included.
+			pkt.Release()
+			continue
+		}
 		from, data, ok := ep.cfg.Transport.Poll()
 		if !ok {
 			break

@@ -57,6 +57,9 @@ func (p *Poller) loop() {
 					return
 				}
 				p.ep.HandlePacket(pkt.From, pkt.Data)
+				// Dispatch does not retain the wire buffer (see RunOnce);
+				// recycle it, decode failures included.
+				pkt.Release()
 			}
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"treaty/internal/enclave"
+	"treaty/internal/mempool"
 	"treaty/internal/simnet"
 )
 
@@ -32,6 +33,20 @@ type RawPacket struct {
 	From string
 	// Data is the payload.
 	Data []byte
+	// release returns Data to its transport's buffer pool; nil when the
+	// buffer came from the GC heap (or is owned by the sender, as on the
+	// in-process sim fabric).
+	release func()
+}
+
+// Release recycles the packet's receive buffer. Call it exactly once,
+// after Data is no longer referenced — including on every frame-decode
+// failure path, or the buffer leaks from its pool. Nil-safe: packets
+// without pooled buffers ignore it.
+func (p RawPacket) Release() {
+	if p.release != nil {
+		p.release()
+	}
 }
 
 // ChannelTransport is implemented by transports that can deliver receive
@@ -41,8 +56,20 @@ type RawPacket struct {
 type ChannelTransport interface {
 	Transport
 	// RecvCh returns the receive event channel. A packet read from the
-	// channel must be handed to the endpoint (it bypasses Poll).
+	// channel must be handed to the endpoint (it bypasses Poll), then
+	// Released.
 	RecvCh() <-chan RawPacket
+}
+
+// PacketTransport is implemented by transports whose poll path hands
+// out packets with their release hook attached, so the event loop can
+// recycle the receive buffer once the frame has been dispatched (the
+// plain Poll interface cannot: its caller keeps the slice).
+type PacketTransport interface {
+	Transport
+	// PollPacket returns one received packet if immediately available.
+	// The caller must Release it after dispatch.
+	PollPacket() (RawPacket, bool)
 }
 
 // TransportKind selects the I/O cost profile of a transport.
@@ -137,6 +164,7 @@ func (t *SimTransport) Close() error {
 type UDPTransport struct {
 	conn   *net.UDPConn
 	rt     *enclave.Runtime
+	pool   *mempool.Pool
 	inbox  chan RawPacket
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -145,6 +173,16 @@ type UDPTransport struct {
 // NewUDPTransport binds a UDP socket on addr ("127.0.0.1:0" for an
 // ephemeral port). rt may be nil.
 func NewUDPTransport(addr string, rt *enclave.Runtime) (*UDPTransport, error) {
+	return NewUDPTransportPool(addr, rt, nil)
+}
+
+// NewUDPTransportPool is NewUDPTransport with receive buffers drawn
+// from pool instead of the GC heap (one allocation per inbound frame
+// otherwise). Buffers live in the host region — inbound wire bytes are
+// ciphertext (or untrusted plaintext) and need no EPC residency. Each
+// buffer is returned to the pool by RawPacket.Release once the frame
+// has been dispatched or dropped. pool may be nil.
+func NewUDPTransportPool(addr string, rt *enclave.Runtime, pool *mempool.Pool) (*UDPTransport, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("erpc: resolving %q: %w", addr, err)
@@ -156,6 +194,7 @@ func NewUDPTransport(addr string, rt *enclave.Runtime) (*UDPTransport, error) {
 	t := &UDPTransport{
 		conn:  conn,
 		rt:    rt,
+		pool:  pool,
 		inbox: make(chan RawPacket, 4096),
 	}
 	t.wg.Add(1)
@@ -163,7 +202,10 @@ func NewUDPTransport(addr string, rt *enclave.Runtime) (*UDPTransport, error) {
 	return t, nil
 }
 
-var _ ChannelTransport = (*UDPTransport)(nil)
+var (
+	_ ChannelTransport = (*UDPTransport)(nil)
+	_ PacketTransport  = (*UDPTransport)(nil)
+)
 
 // RecvCh implements ChannelTransport. Receive-side syscall costs are
 // charged by the read loop; channel consumers get packets directly.
@@ -185,12 +227,23 @@ func (t *UDPTransport) readLoop() {
 			}
 			return
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
+		pkt := RawPacket{From: raddr.String()}
+		if t.pool != nil {
+			b := t.pool.Alloc(n, mempool.RegionHost)
+			copy(b.Data, buf[:n])
+			pkt.Data = b.Data
+			pkt.release = func() { t.pool.Free(b) }
+		} else {
+			pkt.Data = make([]byte, n)
+			copy(pkt.Data, buf[:n])
+		}
 		select {
-		case t.inbox <- RawPacket{From: raddr.String(), Data: data}:
+		case t.inbox <- pkt:
 		default:
-			// Inbox overrun: drop, like a NIC ring overflow.
+			// Inbox overrun: drop, like a NIC ring overflow. The buffer
+			// still goes back to the pool — dropping a frame must not
+			// leak its memory.
+			pkt.Release()
 		}
 	}
 }
@@ -213,17 +266,34 @@ func (t *UDPTransport) Send(to string, data []byte) error {
 	return nil
 }
 
-// Poll implements Transport.
-func (t *UDPTransport) Poll() (string, []byte, bool) {
+// PollPacket implements PacketTransport: the caller must Release the
+// packet after dispatching it.
+func (t *UDPTransport) PollPacket() (RawPacket, bool) {
 	select {
 	case pkt := <-t.inbox:
 		if t.rt != nil {
 			t.rt.Syscall()
 		}
-		return pkt.From, pkt.Data, true
+		return pkt, true
 	default:
+		return RawPacket{}, false
+	}
+}
+
+// Poll implements Transport. Callers of the plain interface keep the
+// returned slice indefinitely, so a pooled buffer is detached with a
+// copy here; release-aware callers use PollPacket instead.
+func (t *UDPTransport) Poll() (string, []byte, bool) {
+	pkt, ok := t.PollPacket()
+	if !ok {
 		return "", nil, false
 	}
+	if pkt.release != nil {
+		data := append([]byte(nil), pkt.Data...)
+		pkt.Release()
+		return pkt.From, data, true
+	}
+	return pkt.From, pkt.Data, true
 }
 
 // LocalAddr implements Transport.
@@ -239,6 +309,12 @@ func (t *UDPTransport) Close() error {
 	go func() {
 		t.wg.Wait()
 		close(t.inbox)
+		// Recycle any packets still queued: each is delivered to exactly
+		// one receiver (channel semantics), so this drain cannot race a
+		// consumer into a double release.
+		for pkt := range t.inbox {
+			pkt.Release()
+		}
 		close(done)
 	}()
 	select {

@@ -1,0 +1,251 @@
+package blockcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"treaty/internal/enclave"
+)
+
+func blk(size int, fill byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1<<20, 4, nil)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := blk(100, 0xAB)
+	c.Put(1, 0, want)
+	got, ok := c.Get(1, 0)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if &got[0] != &want[0] {
+		t.Fatal("Get did not return the shared cached slice")
+	}
+	if c.Lookups() != 2 || c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("stats lookups=%d hits=%d misses=%d", c.Lookups(), c.Hits(), c.Misses())
+	}
+	if c.Bytes() != 100 {
+		t.Fatalf("bytes=%d want 100", c.Bytes())
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	c.Put(1, 0, blk(10, 1))
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.InvalidateTable(1)
+	c.Purge()
+	if c.Lookups() != 0 || c.Bytes() != 0 || c.Capacity() != 0 {
+		t.Fatal("nil cache stats nonzero")
+	}
+	if New(0, 0, nil) != nil || New(-1, 0, nil) != nil {
+		t.Fatal("New with capacity <= 0 must return nil (disabled)")
+	}
+}
+
+func TestDuplicatePutKeepsFirst(t *testing.T) {
+	c := New(1<<20, 1, nil)
+	first := blk(64, 1)
+	c.Put(7, 3, first)
+	c.Put(7, 3, blk(64, 2))
+	got, ok := c.Get(7, 3)
+	if !ok || &got[0] != &first[0] {
+		t.Fatal("duplicate Put displaced the published entry")
+	}
+	if c.Bytes() != 64 {
+		t.Fatalf("duplicate Put double-charged: bytes=%d", c.Bytes())
+	}
+}
+
+func TestCapacityEvictionCLOCK(t *testing.T) {
+	// One shard, room for 4 × 256-byte blocks.
+	c := New(1024, 1, nil)
+	for i := 0; i < 4; i++ {
+		c.Put(1, i, blk(256, byte(i)))
+	}
+	if c.Bytes() != 1024 || c.Evictions() != 0 {
+		t.Fatalf("warm-up: bytes=%d evictions=%d", c.Bytes(), c.Evictions())
+	}
+	// Re-reference block 0 so CLOCK's second chance protects it.
+	if _, ok := c.Get(1, 0); !ok {
+		t.Fatal("warm block missing")
+	}
+	// Insert a fifth block: something must go, bytes stays <= capacity.
+	c.Put(1, 4, blk(256, 4))
+	if c.Bytes() > 1024 {
+		t.Fatalf("bytes=%d exceeds capacity", c.Bytes())
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no eviction at capacity")
+	}
+	if _, ok := c.Get(1, 4); !ok {
+		t.Fatal("newly inserted block evicted immediately")
+	}
+}
+
+func TestOversizedBlockNotCached(t *testing.T) {
+	c := New(1<<17, 2, nil) // 64 KiB per shard
+	c.Put(1, 0, blk(1<<17, 0))
+	if c.Bytes() != 0 {
+		t.Fatal("block larger than a shard budget was cached")
+	}
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("oversized block hit")
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	c := New(1<<20, 4, nil)
+	for i := 0; i < 16; i++ {
+		c.Put(1, i, blk(128, 1))
+		c.Put(2, i, blk(128, 2))
+	}
+	c.InvalidateTable(1)
+	if c.Invalidations() != 1 {
+		t.Fatalf("invalidations=%d", c.Invalidations())
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok := c.Get(1, i); ok {
+			t.Fatalf("table 1 block %d survived invalidation", i)
+		}
+		if _, ok := c.Get(2, i); !ok {
+			t.Fatalf("table 2 block %d collateral-purged", i)
+		}
+	}
+	if c.Bytes() != 16*128 {
+		t.Fatalf("bytes=%d want %d", c.Bytes(), 16*128)
+	}
+}
+
+func TestPurgeDischargesEnclaveAccounting(t *testing.T) {
+	rt := enclave.NewNativeRuntime()
+	c := New(1<<20, 2, rt)
+	for i := 0; i < 8; i++ {
+		c.Put(5, i, blk(512, 0))
+	}
+	if got := rt.Stats().EnclaveBytes; got != 8*512 {
+		t.Fatalf("enclave bytes after inserts = %d, want %d", got, 8*512)
+	}
+	c.InvalidateTable(5)
+	if got := rt.Stats().EnclaveBytes; got != 0 {
+		t.Fatalf("enclave bytes after invalidate = %d, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		c.Put(6, i, blk(512, 0))
+	}
+	c.Purge()
+	if got := rt.Stats().EnclaveBytes; got != 0 {
+		t.Fatalf("enclave bytes after purge = %d, want 0", got)
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("bytes after purge = %d", c.Bytes())
+	}
+}
+
+func TestEPCOverflowCounted(t *testing.T) {
+	// A tiny EPC budget: the second insert pushes past it.
+	rt := enclave.NewRuntime(enclave.RuntimeConfig{
+		Mode:      enclave.ModeScone,
+		EPCBudget: 4096,
+	})
+	c := New(1<<20, 1, rt)
+	c.Put(1, 0, blk(4096, 0))
+	if c.EPCOverflows() != 0 {
+		t.Fatal("overflow counted while under budget")
+	}
+	c.Put(1, 1, blk(4096, 0))
+	if c.EPCOverflows() == 0 {
+		t.Fatal("insert past EPC budget not counted")
+	}
+	if rt.Stats().PageFaults == 0 {
+		t.Fatal("paging penalty model not triggered past budget")
+	}
+}
+
+func TestConservationUnderConcurrency(t *testing.T) {
+	rt := enclave.NewNativeRuntime()
+	c := New(256<<10, 8, rt)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				table := uint64(g%4 + 1)
+				block := i % 64
+				if _, ok := c.Get(table, block); !ok {
+					c.Put(table, block, blk(1024, byte(i)))
+				}
+				if i%500 == 499 {
+					c.InvalidateTable(table)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Hits()+c.Misses() != c.Lookups() {
+		t.Fatalf("conservation violated: hits=%d misses=%d lookups=%d",
+			c.Hits(), c.Misses(), c.Lookups())
+	}
+	if b := c.Bytes(); b < 0 || b > c.Capacity() {
+		t.Fatalf("bytes=%d outside [0, %d]", b, c.Capacity())
+	}
+	c.Purge()
+	if c.Bytes() != 0 || rt.Stats().EnclaveBytes != 0 {
+		t.Fatalf("purge left bytes=%d enclave=%d", c.Bytes(), rt.Stats().EnclaveBytes)
+	}
+}
+
+func TestShardCountAdaptsToTinyCapacity(t *testing.T) {
+	c := New(minShardBytes, 8, nil) // would be 8 KiB shards: collapses
+	if len(c.shards) != 1 {
+		t.Fatalf("shards=%d want 1", len(c.shards))
+	}
+	// Still functional.
+	c.Put(1, 0, blk(4096, 0))
+	if _, ok := c.Get(1, 0); !ok {
+		t.Fatal("tiny cache broken")
+	}
+}
+
+func TestManyTablesSpreadShards(t *testing.T) {
+	c := New(1<<20, 8, nil)
+	seen := map[*shard]bool{}
+	for i := 0; i < 256; i++ {
+		seen[c.shardFor(ckey{table: uint64(i), block: uint32(i)})] = true
+	}
+	if len(seen) < len(c.shards) {
+		t.Fatalf("hash spread only %d/%d shards", len(seen), len(c.shards))
+	}
+}
+
+func BenchmarkHit(b *testing.B) {
+	c := New(32<<20, 0, nil)
+	c.Put(1, 0, blk(4096, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(1, 0); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := New(1<<20, 0, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(uint64(i%8), i, blk(4096, byte(i)))
+	}
+	_ = fmt.Sprintf("%d", c.Evictions())
+}

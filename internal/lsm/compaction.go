@@ -223,5 +223,16 @@ func (db *DB) runCompaction(c *compaction) error {
 	}
 	db.compactions.Add(1)
 	db.mu.Unlock()
+	// Invalidate the replaced tables' cached blocks now that the new
+	// version is installed. A concurrent Get holding the previous
+	// version may re-fill a block of a deleted table after this purge;
+	// that is bounded waste, not staleness — file numbers are never
+	// reused, so the entry can only hold that table's true contents,
+	// and CLOCK evicts it once the old version's readers drain.
+	if db.bcache != nil {
+		for _, f := range all {
+			db.bcache.InvalidateTable(f.number)
+		}
+	}
 	return nil
 }

@@ -10,6 +10,8 @@ import (
 	"sort"
 
 	"treaty/internal/enclave"
+	"treaty/internal/lsm/blockcache"
+	"treaty/internal/mempool"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/vfs"
@@ -254,6 +256,14 @@ type sstReader struct {
 	// db.reader; nil-safe no-ops when metrics are off).
 	bloomChecks    *obs.Counter
 	bloomNegatives *obs.Counter
+
+	// cache holds verified+decrypted block plaintext, shared across the
+	// DB's readers (set by db.reader; nil = caching disabled, and every
+	// method on it is nil-safe).
+	cache *blockcache.Cache
+	// pool recycles the ciphertext staging buffer of readBlock (set by
+	// db.reader; nil = plain allocations).
+	pool *mempool.Pool
 }
 
 // openSST opens a table and verifies its index against wantHash (from the
@@ -378,18 +388,37 @@ func (r *sstReader) readIndex(wantHash [seal.HashSize]byte) error {
 	return nil
 }
 
-// readBlock loads, verifies, and decrypts block i.
+// readBlock loads, verifies, and decrypts block i from storage. The
+// returned slice is freshly owned by the caller and never aliases the
+// (recycled) staging buffer. For the cached path use block().
 func (r *sstReader) readBlock(i int) ([]byte, error) {
 	h := r.handles[i]
-	stored := make([]byte, h.length)
+	// The on-disk bytes are untrusted media: stage them in a pooled
+	// host-region buffer (ciphertext / unverified data needs no EPC
+	// residency) instead of a fresh allocation per read.
+	var staged *mempool.Buf
+	var stored []byte
+	if r.pool != nil {
+		staged = r.pool.Alloc(int(h.length), mempool.RegionHost)
+		stored = staged.Data
+	} else {
+		stored = make([]byte, h.length)
+	}
+	release := func() {
+		if staged != nil {
+			r.pool.Free(staged)
+		}
+	}
 	if r.rt != nil {
 		r.rt.Syscall()
 	}
 	if _, err := r.f.ReadAt(stored, int64(h.offset)); err != nil {
+		release()
 		return nil, fmt.Errorf("lsm: sstable block read: %w", err)
 	}
 	if r.level >= seal.LevelIntegrity {
 		if seal.Hash(stored) != h.hash {
+			release()
 			return nil, fmt.Errorf("%w: block %d hash mismatch", ErrSSTCorrupt, i)
 		}
 	} else {
@@ -398,17 +427,51 @@ func (r *sstReader) readBlock(i int) ([]byte, error) {
 		// (unlike the secure levels) a forger who can rewrite the index
 		// is not defended against.
 		if crc32.ChecksumIEEE(stored) != h.crc {
+			release()
 			return nil, fmt.Errorf("%w: block %d crc mismatch", ErrSSTCorrupt, i)
 		}
 	}
 	if r.ciph != nil {
 		plain, err := r.ciph.Open(stored, nil)
+		release()
 		if err != nil {
 			return nil, fmt.Errorf("%w: block %d decrypt", ErrSSTCorrupt, i)
 		}
 		return plain, nil
 	}
+	if staged != nil {
+		// The staging buffer goes back to the pool: hand out a stable copy.
+		plain := append([]byte(nil), stored...)
+		release()
+		return plain, nil
+	}
 	return stored, nil
+}
+
+// block returns the verified plaintext of block i, consulting the block
+// cache first. fill controls insertion on miss: the point-lookup path
+// fills (its reuse distance is what the cache exists for), while the
+// scan paths (iterators, compaction) only take hits — a sequential scan
+// would otherwise wipe the cache's working set and churn EPC accounting
+// for blocks read exactly once. The returned slice is shared and
+// immutable when it came from (or was inserted into) the cache: callers
+// must treat it as read-only.
+func (r *sstReader) block(i int, fill bool) ([]byte, error) {
+	if data, ok := r.cache.Get(r.number, i); ok {
+		return data, nil
+	}
+	data, err := r.readBlock(i)
+	if err != nil {
+		return nil, err
+	}
+	if fill {
+		// Insert only after hash/CRC verification and decryption have
+		// succeeded (readBlock returned): the cache holds authenticated
+		// plaintext only. Put takes ownership; data is never written
+		// after this point (blockIter and get only read it).
+		r.cache.Put(r.number, i, data)
+	}
+	return data, nil
 }
 
 // get looks up the newest record with user key == userKey and seq <=
@@ -429,11 +492,12 @@ func (r *sstReader) get(userKey []byte, readSeq uint64) (value []byte, seq uint6
 	if i >= len(r.handles) {
 		return nil, 0, 0, false, nil
 	}
-	block, err := r.readBlock(i)
+	block, err := r.block(i, true)
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
-	it := newBlockIter(block)
+	var it blockIter
+	it.reset(block)
 	for it.next() {
 		if compareIKeys(it.ikey, target) < 0 {
 			continue
@@ -444,32 +508,29 @@ func (r *sstReader) get(userKey []byte, readSeq uint64) (value []byte, seq uint6
 		}
 		return append([]byte(nil), it.value...), s, k, true, nil
 	}
-	// The target may fall past this block's records but before its
-	// lastKey only if keys are sparse; check the next block too.
-	if i+1 < len(r.handles) {
-		block, err := r.readBlock(i + 1)
-		if err != nil {
-			return nil, 0, 0, false, err
-		}
-		it := newBlockIter(block)
-		for it.next() {
-			if compareIKeys(it.ikey, target) < 0 {
-				continue
-			}
-			uk, s, k := parseIKey(it.ikey)
-			if !bytes.Equal(uk, userKey) {
-				return nil, 0, 0, false, nil
-			}
-			return append([]byte(nil), it.value...), s, k, true, nil
-		}
+	if it.err != nil {
+		// The block passed its hash/CRC check but a record failed to
+		// decode: structural corruption inside a verified block. Surface
+		// it — the earlier code swallowed iterator errors here and went
+		// on to read the next block.
+		return nil, 0, 0, false, fmt.Errorf("%w: block %d record decode", ErrSSTCorrupt, i)
 	}
+	// A clean scan cannot end here without having seen a record >= target:
+	// handles[i].lastKey is the exact internal key of block i's final
+	// record, and sort.Search established lastKey >= target, so the final
+	// record itself satisfies the comparison. (The earlier code read block
+	// i+1 here "for sparse keys" — an unreachable case that cost a second
+	// block read exactly when the block was corrupt.)
 	return nil, 0, 0, false, nil
 }
 
 // close releases the reader.
 func (r *sstReader) close() error { return r.f.Close() }
 
-// blockIter walks one decoded block's records.
+// blockIter walks one decoded block's records. It never mutates the
+// block bytes, so it is safe over a shared cached block. The zero value
+// is an exhausted iterator; reset() re-aims an existing one at a new
+// block without allocating (the hot paths keep one per lookup/scan).
 type blockIter struct {
 	data  []byte
 	off   int
@@ -478,8 +539,8 @@ type blockIter struct {
 	err   error
 }
 
-// newBlockIter creates a block iterator.
-func newBlockIter(block []byte) *blockIter { return &blockIter{data: block} }
+// reset re-points the iterator at block, clearing all state.
+func (it *blockIter) reset(block []byte) { *it = blockIter{data: block} }
 
 // next advances to the next record; it returns false at the end or on a
 // decode error (recorded in err).
@@ -506,11 +567,12 @@ func (it *blockIter) next() bool {
 	return true
 }
 
-// sstIterator iterates a whole table in internal-key order.
+// sstIterator iterates a whole table in internal-key order. Scans read
+// through the cache (hits allowed) but never fill it — see block().
 type sstIterator struct {
 	r     *sstReader
 	block int
-	it    *blockIter
+	it    blockIter
 	valid bool
 	err   error
 }
@@ -523,7 +585,7 @@ func (r *sstReader) newIterator() *sstIterator {
 // SeekToFirst implements internalIterator.
 func (it *sstIterator) SeekToFirst() {
 	it.block = -1
-	it.it = nil
+	it.it.reset(nil)
 	it.valid = false
 	it.err = nil
 	it.advanceBlock()
@@ -537,13 +599,13 @@ func (it *sstIterator) advanceBlock() {
 			it.valid = false
 			return
 		}
-		data, err := it.r.readBlock(it.block)
+		data, err := it.r.block(it.block, false)
 		if err != nil {
 			it.err = err
 			it.valid = false
 			return
 		}
-		it.it = newBlockIter(data)
+		it.it.reset(data)
 		if it.it.next() {
 			it.valid = true
 			return
@@ -561,14 +623,14 @@ func (it *sstIterator) Seek(target []byte) {
 		it.valid = false
 		return
 	}
-	data, err := it.r.readBlock(i)
+	data, err := it.r.block(i, false)
 	if err != nil {
 		it.err = err
 		it.valid = false
 		return
 	}
 	it.block = i
-	it.it = newBlockIter(data)
+	it.it.reset(data)
 	for it.it.next() {
 		if compareIKeys(it.it.ikey, target) >= 0 {
 			it.valid = true
@@ -603,8 +665,5 @@ func (it *sstIterator) Err() error {
 	if it.err != nil {
 		return it.err
 	}
-	if it.it != nil {
-		return it.it.err
-	}
-	return nil
+	return it.it.err
 }

@@ -323,3 +323,109 @@ func TestNativeModeBlockCorruptionDetected(t *testing.T) {
 		t.Fatal("corruption metric not incremented")
 	}
 }
+
+// TestWarmCacheQuarantinePurge: bit rot detected under a WARM block
+// cache must quarantine the table AND purge its cached blocks — a
+// stale cached block must never serve reads for a quarantined table,
+// not even through a reader handle grabbed before the quarantine.
+func TestWarmCacheQuarantinePurge(t *testing.T) {
+	for _, lv := range allLevels {
+		lv := lv
+		t.Run(lv.name, func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			reg := obs.NewRegistry()
+			db, err := Open(Options{
+				Dir: "/db", FS: fs, SyncWAL: true, Metrics: reg,
+				Level: lv.level, Key: faultTestKey(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			// Enough data for several 4 KiB blocks in one table.
+			b := NewBatch()
+			for i := 0; i < 64; i++ {
+				b.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(strings.Repeat("v", 128)))
+			}
+			if _, _, err := db.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			keyA, keyB := []byte("key-000"), []byte("key-063")
+			// Warm the cache with keyA's block (first block of the table).
+			if _, _, found, err := db.Get(keyA, db.LatestSeq()); err != nil || !found {
+				t.Fatalf("warming get: found=%v err=%v", found, err)
+			}
+			if _, _, found, err := db.Get(keyA, db.LatestSeq()); err != nil || !found {
+				t.Fatalf("warm get: found=%v err=%v", found, err)
+			}
+			if reg.Snapshot().Counter("lsm.cache.hits") == 0 {
+				t.Fatal("cache not warm")
+			}
+
+			// Grab the live reader handle (models a concurrent reader that
+			// opened the table before the corruption was noticed), then rot
+			// one byte in the middle of EVERY data block on disk.
+			db.mu.Lock()
+			if len(db.readers) != 1 {
+				db.mu.Unlock()
+				t.Fatalf("expected 1 reader, have %d", len(db.readers))
+			}
+			var tableNum uint64
+			var r *sstReader
+			for num, rd := range db.readers {
+				tableNum, r = num, rd
+			}
+			db.mu.Unlock()
+			if len(r.handles) < 2 {
+				t.Fatalf("need a multi-block table, got %d blocks", len(r.handles))
+			}
+			path := sstFileName("/db", tableNum)
+			raw, err := fs.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range r.handles {
+				raw[h.offset+h.length/2] ^= 0x40
+			}
+			f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+
+			// A cold read (keyB's block is not cached) detects the rot and
+			// quarantines the table.
+			if _, _, _, gerr := db.Get(keyB, db.LatestSeq()); !errors.Is(gerr, ErrSSTCorrupt) {
+				t.Fatalf("cold read of rotted block: err=%v, want ErrSSTCorrupt", gerr)
+			}
+			// keyA's block WAS warm: the quarantine must have purged it, so
+			// the DB read fails instead of serving the stale cached block.
+			if _, _, _, gerr := db.Get(keyA, db.LatestSeq()); !errors.Is(gerr, ErrSSTCorrupt) {
+				t.Fatalf("warm key after quarantine: err=%v, want ErrSSTCorrupt", gerr)
+			}
+			// Even through the pre-quarantine reader handle: the purge means
+			// the next access re-reads the rotted media and fails — it can
+			// never observe the stale plaintext again.
+			if _, _, _, _, gerr := r.get(keyA, db.LatestSeq()); !errors.Is(gerr, ErrSSTCorrupt) {
+				t.Fatalf("held reader after quarantine: err=%v, want ErrSSTCorrupt", gerr)
+			}
+
+			s := reg.Snapshot()
+			if got := s.Counter("lsm.quarantine.tables"); got != 1 {
+				t.Fatalf("quarantine.tables = %d, want 1", got)
+			}
+			if got := s.Counter("lsm.cache.quarantine_purges"); got != 1 {
+				t.Fatalf("cache.quarantine_purges = %d, want 1", got)
+			}
+			if got := s.Counter("lsm.corruption.detected"); got == 0 {
+				t.Fatal("corruption metric not incremented")
+			}
+		})
+	}
+}
