@@ -67,7 +67,9 @@ vet:
 bench-baseline:
 	$(GO) run ./cmd/treaty-bench -exp baseline -baseline-out BENCH_baseline.json
 
-# One-iteration benchmark smoke: the ablations must still run and the
-# block-cache arm must be non-vacuous (it b.Fatals on zero cache hits).
+# One-iteration benchmark smoke: the read panel must be non-vacuous (it
+# b.Fatals on zero cache hits) and the write-heavy panel must show the
+# Clog group-commit pipeline actually batching (it b.Fatals when the
+# group-size p95 degrades to per-append forces).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation_BlockCache' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation_BlockCache|BenchmarkAblation_WritePathGroupCommit' -benchtime=1x .

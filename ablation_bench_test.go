@@ -173,6 +173,33 @@ func BenchmarkAblation_BlockCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_WritePathGroupCommit is the write-heavy bench-smoke
+// panel: a short distributed YCSB 20%R run at full security, asserting
+// the Clog group-commit pipeline is non-vacuous — coordinator records
+// must actually flow through commit groups — and reporting the group
+// size, fsync amortization, and counter rounds per committed transaction
+// so write-path regressions are visible pre-merge.
+func BenchmarkAblation_WritePathGroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunWritePathSmoke(bench.DistConfig{Clients: 192, Duration: 4 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.GroupCount == 0 || r.ClogAppends == 0 {
+			b.Fatalf("vacuous run: no clog commit groups observed (appends=%d syncs=%d)", r.ClogAppends, r.ClogSyncs)
+		}
+		if r.GroupP95 <= 1 {
+			b.Fatalf("group commit degraded to per-append forces: group-size p95 = %.0f (max %.0f over %d groups)",
+				r.GroupP95, r.GroupMax, r.GroupCount)
+		}
+		b.Log(bench.PrintWritePath(r))
+		b.ReportMetric(r.Tps, "tps")
+		b.ReportMetric(r.GroupP95, "group-p95")
+		b.ReportMetric(float64(r.ClogAppends)/float64(r.ClogSyncs), "appends/fsync")
+		b.ReportMetric(r.CounterRoundsPerTxn, "ctr-rounds/txn")
+	}
+}
+
 // BenchmarkAblation_SecurityLevels isolates the storage-engine cost of
 // each security level with no concurrency: one writer, sequential
 // commits.

@@ -36,6 +36,23 @@ type NodeDigest struct {
 
 	WALAppends uint64 `json:"wal_appends"`
 	WALSyncs   uint64 `json:"wal_syncs"`
+
+	// Write-path group commit (the Clog leader): appended coordinator
+	// records, groups forced, and the per-group size distribution. A
+	// ClogGroupP95 above 1 shows cross-transaction batching actually
+	// engaged under the measured load.
+	ClogAppends  uint64  `json:"clog_appends,omitempty"`
+	ClogSyncs    uint64  `json:"clog_syncs,omitempty"`
+	ClogGroupP50 float64 `json:"clog_group_p50,omitempty"`
+	ClogGroupP95 float64 `json:"clog_group_p95,omitempty"`
+	ClogGroupMax float64 `json:"clog_group_max,omitempty"`
+
+	// Trusted-counter amortization: protocol rounds run, the per-round
+	// batch-size distribution, and rounds per committed transaction
+	// (below 1 means one ROTE round covered several commits, §VI).
+	CounterRounds       uint64  `json:"counter_rounds,omitempty"`
+	CounterBatchP95     float64 `json:"counter_batch_p95,omitempty"`
+	CounterRoundsPerTxn float64 `json:"counter_rounds_per_txn,omitempty"`
 	// BloomFilterRate is the fraction of filtered point reads (bloom
 	// negatives / bloom checks), 0 when no SSTable was consulted.
 	BloomFilterRate float64 `json:"bloom_filter_rate"`
@@ -87,6 +104,20 @@ func DigestSnapshot(s obs.Snapshot) NodeDigest {
 		}
 	}
 	d.StabilizeWaitP99Ms = float64(s.Histograms["twopc.stabilize.wait_ns"].P99) / ms
+	d.ClogAppends = s.Counter("twopc.clog.appends")
+	d.ClogSyncs = s.Counter("twopc.clog.syncs")
+	if h, ok := s.Histograms["twopc.clog.group_size"]; ok && h.Count > 0 {
+		d.ClogGroupP50 = float64(h.P50)
+		d.ClogGroupP95 = float64(h.P95)
+		d.ClogGroupMax = float64(h.Max)
+	}
+	d.CounterRounds = s.Counter("counter.rounds")
+	if h, ok := s.Histograms["counter.batch.size"]; ok && h.Count > 0 {
+		d.CounterBatchP95 = float64(h.P95)
+	}
+	if d.TxCommitted > 0 {
+		d.CounterRoundsPerTxn = float64(d.CounterRounds) / float64(d.TxCommitted)
+	}
 	if checks := s.Counter("lsm.bloom.checks"); checks > 0 {
 		d.BloomFilterRate = float64(s.Counter("lsm.bloom.negatives")) / float64(checks)
 	}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"treaty/internal/core"
+)
+
+// Write-path group-commit smoke: a short write-heavy (YCSB 20%R,
+// fig5-shaped) distributed run at the full security mode, reporting the
+// group-commit and counter-amortization evidence alongside throughput.
+// CI runs this as the bench-smoke write panel so write-path regressions
+// (group commit silently degrading to per-append forces, or counter
+// rounds climbing back to one-per-commit) are visible pre-merge.
+
+// WritePathResult summarizes one write-path smoke run.
+type WritePathResult struct {
+	// Tps is committed transactions per second.
+	Tps float64
+	// GroupCount is the number of Clog commit groups observed across the
+	// cluster; zero means the run was vacuous (no coordinator records
+	// were group-committed at all).
+	GroupCount uint64
+	// GroupP95 and GroupMax summarize the per-group size distribution
+	// (cluster-wide worst node). P95 > 1 shows cross-transaction
+	// batching engaged.
+	GroupP95 float64
+	GroupMax float64
+	// ClogAppends and ClogSyncs are cluster totals; their ratio is the
+	// amortization factor of the leader's one-fsync-per-group.
+	ClogAppends uint64
+	ClogSyncs   uint64
+	// CounterRoundsPerTxn is trusted-counter protocol rounds divided by
+	// committed transactions, cluster-wide (< 1 means one ROTE round
+	// covered several commits, §VI).
+	CounterRoundsPerTxn float64
+}
+
+// RunWritePathSmoke boots a full-security cluster, drives the write-heavy
+// distributed YCSB panel, and digests the write-path metrics.
+func RunWritePathSmoke(cfg DistConfig) (WritePathResult, error) {
+	cfg = cfg.withDefaults()
+	c, err := newBenchCluster(core.ModeSconeEncStab, cfg.Nodes, cfg.BlockCacheBytes)
+	if err != nil {
+		return WritePathResult{}, err
+	}
+	m, err := runDistYCSB(c, cfg, 0.2)
+	rep := CaptureMetrics("write-path", c)
+	c.Stop()
+	if err != nil {
+		return WritePathResult{}, err
+	}
+
+	r := WritePathResult{Tps: m.Tps}
+	var committed, rounds uint64
+	for _, d := range rep.Nodes {
+		committed += d.TxCommitted
+		rounds += d.CounterRounds
+		r.ClogAppends += d.ClogAppends
+		r.ClogSyncs += d.ClogSyncs
+		if d.ClogSyncs > 0 {
+			r.GroupCount += d.ClogSyncs
+		}
+		if d.ClogGroupP95 > r.GroupP95 {
+			r.GroupP95 = d.ClogGroupP95
+		}
+		if d.ClogGroupMax > r.GroupMax {
+			r.GroupMax = d.ClogGroupMax
+		}
+	}
+	if committed > 0 {
+		r.CounterRoundsPerTxn = float64(rounds) / float64(committed)
+	}
+	return r, nil
+}
+
+// PrintWritePath renders the smoke result.
+func PrintWritePath(r WritePathResult) string {
+	return fmt.Sprintf(
+		"Write path: %.1f tps, clog groups=%d (p95=%.0f max=%.0f), appends/syncs=%d/%d, counter rounds/txn=%.3f",
+		r.Tps, r.GroupCount, r.GroupP95, r.GroupMax, r.ClogAppends, r.ClogSyncs, r.CounterRoundsPerTxn)
+}

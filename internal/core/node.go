@@ -69,11 +69,13 @@ type NodeConfig struct {
 	// trusted counter files) go through; nil uses the real OS. The chaos
 	// and crash-point harnesses substitute fault-injecting filesystems.
 	FS vfs.FS
-	// ClogSync turns on per-append Clog fsync (power-loss durability for
-	// the coordinator log; off by default — see Clog.EnableSync). The
-	// disk-fault harnesses enable it.
+	// ClogSync is retained for compatibility: the Clog's group-commit
+	// leader forces every group before stabilizing it, so acknowledged
+	// appends are always power-loss durable and this flag is a no-op
+	// (see Clog.EnableSync).
 	ClogSync bool
-	// DisableGroupCommit is the group-commit ablation.
+	// DisableGroupCommit is the group-commit ablation (both the storage
+	// engine's WAL committer and the Clog leader).
 	DisableGroupCommit bool
 	// LockShards overrides the lock-table shard count.
 	LockShards int
@@ -224,8 +226,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	if cfg.ClogSync {
-		clog.EnableSync()
+		clog.EnableSync() // compat no-op: every commit group is forced
 	}
+	clog.Configure(twopc.ClogTuning{
+		DisableGroupCommit: cfg.DisableGroupCommit,
+		Metrics:            n.reg,
+		Pool:               n.pool,
+	})
 	if clog.TornTailDropped() {
 		n.reg.Counter("storage.clog.torn_dropped").Inc()
 	}

@@ -223,12 +223,26 @@ type Handle struct {
 	client *Client
 	name   string
 
+	// stable and failed are read lock-free: every stabilization waiter
+	// (commit fibers polling StableToken.Ready) consults them once per
+	// scheduling round, and taking h.mu there would serialize all fibers
+	// against the pump's round-in-progress critical sections. Writes stay
+	// under h.mu so cond wakeups are not lost.
+	stable atomic.Uint64 // highest value confirmed by quorum
+	failed atomic.Value  // sticky error (no quorum after MaxRetries)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending uint64 // highest value requested
-	stable  uint64 // highest value confirmed by quorum
-	failed  error  // sticky failure (no quorum after MaxRetries)
 	closed  bool
+}
+
+// failedErr returns the sticky failure without locking.
+func (h *Handle) failedErr() error {
+	if e := h.failed.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
 }
 
 // MaxRoundRetries bounds consecutive failed protocol rounds before a
@@ -251,7 +265,9 @@ func (h *Handle) Stabilize(v uint64) {
 }
 
 // WaitStable blocks until the counter service has made v
-// rollback-protected (or the service failed to reach quorum).
+// rollback-protected (or the service failed to reach quorum). The whole
+// cohort of waiters covered by a round wakes on its single Broadcast —
+// stabilizing the round's target implicitly stabilizes every lower value.
 func (h *Handle) WaitStable(v uint64) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -259,17 +275,24 @@ func (h *Handle) WaitStable(v uint64) error {
 		h.pending = v
 		h.cond.Broadcast()
 	}
-	for h.stable < v && h.failed == nil {
+	for h.stable.Load() < v && h.failedErr() == nil {
 		h.cond.Wait()
 	}
-	return h.failed
+	return h.failedErr()
 }
 
-// StableValue returns the highest quorum-stable value observed locally.
-func (h *Handle) StableValue() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stable
+// StableValue returns the highest quorum-stable value observed locally
+// (lock-free; safe to poll from every fiber).
+func (h *Handle) StableValue() uint64 { return h.stable.Load() }
+
+// raiseStable lifts the stable view to v (CAS-max).
+func (h *Handle) raiseStable(v uint64) {
+	for {
+		cur := h.stable.Load()
+		if v <= cur || h.stable.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // SeedStable sets the local stable view (from RecoverStable) without
@@ -277,9 +300,7 @@ func (h *Handle) StableValue() uint64 {
 func (h *Handle) SeedStable(v uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if v > h.stable {
-		h.stable = v
-	}
+	h.raiseStable(v)
 	if v > h.pending {
 		h.pending = v
 	}
@@ -293,7 +314,7 @@ func (h *Handle) pump() {
 	failures := 0
 	for {
 		h.mu.Lock()
-		for h.pending <= h.stable && !h.closed {
+		for h.pending <= h.stable.Load() && !h.closed {
 			h.cond.Wait()
 		}
 		if h.closed {
@@ -301,7 +322,7 @@ func (h *Handle) pump() {
 			return
 		}
 		target := h.pending
-		batched := target - h.stable // increments covered by this round
+		batched := target - h.stable.Load() // increments covered by this round
 		h.mu.Unlock()
 
 		c := h.client
@@ -317,16 +338,15 @@ func (h *Handle) pump() {
 		h.mu.Lock()
 		if err == nil {
 			failures = 0
-			if target > h.stable {
-				h.stable = target
-			}
+			h.raiseStable(target)
+			// One wakeup for the whole cohort the round covered.
 			h.cond.Broadcast()
 			h.mu.Unlock()
 			continue
 		}
 		failures++
 		if failures >= MaxRoundRetries {
-			h.failed = err
+			h.failed.Store(err)
 			h.cond.Broadcast()
 			h.mu.Unlock()
 			return
@@ -337,14 +357,10 @@ func (h *Handle) pump() {
 	}
 }
 
-// Failed returns the handle's permanent failure, if any. The storage
-// layer's stable tokens consult this so waiters surface the error
-// instead of spinning.
-func (h *Handle) Failed() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.failed
-}
+// Failed returns the handle's permanent failure, if any (lock-free). The
+// storage layer's stable tokens consult this on every readiness poll so
+// waiters surface the error instead of spinning.
+func (h *Handle) Failed() error { return h.failedErr() }
 
 // runRounds executes echo broadcast + confirmation for value v.
 func (h *Handle) runRounds(v uint64) error {

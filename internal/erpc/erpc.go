@@ -205,10 +205,14 @@ type Endpoint struct {
 	callLatency *obs.Histogram
 }
 
-// outMsg is one enqueued wire message.
+// outMsg is one enqueued wire message. buf, when non-nil, is the pooled
+// backing of wire; TxBurst returns it to the pool after the transport
+// send (transports copy or transmit synchronously, so the frame is dead
+// once Send returns).
 type outMsg struct {
 	to   string
 	wire []byte
+	buf  *mempool.Buf
 }
 
 // NewEndpoint creates an endpoint from cfg.
@@ -295,7 +299,7 @@ func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, paylo
 	p := &Pending{onDone: onDone, reqID: reqID, ch: make(chan struct{}), start: time.Now()}
 	md.NodeID = ep.cfg.NodeID
 	md.Seq = reqID
-	wire := ep.encode(reqType, 0, reqID, &md, payload)
+	wire, buf := ep.encodeRequest(reqType, 0, reqID, &md, payload)
 	ep.requests.Add(1)
 	ep.mu.Lock()
 	if ep.closed.Load() {
@@ -306,11 +310,14 @@ func (ep *Endpoint) Enqueue(to string, reqType uint8, md seal.MsgMetadata, paylo
 		// it has drained, any later Enqueue observes closed here).
 		ep.mu.Unlock()
 		ep.orphaned.Add(1)
+		if buf != nil {
+			ep.cfg.Pool.Free(buf)
+		}
 		p.complete(nil, ErrClosed)
 		return p
 	}
 	ep.pending[reqID] = p
-	ep.txq = append(ep.txq, outMsg{to: to, wire: wire})
+	ep.txq = append(ep.txq, outMsg{to: to, wire: wire, buf: buf})
 	ep.mu.Unlock()
 	ep.wakeTx()
 	return p
@@ -386,7 +393,14 @@ func (ep *Endpoint) TxBurst() error {
 	ep.mu.Unlock()
 	var errs []error
 	for _, m := range batch {
-		if err := ep.cfg.Transport.Send(m.to, m.wire); err != nil {
+		err := ep.cfg.Transport.Send(m.to, m.wire)
+		if m.buf != nil {
+			// Sealed-frame reuse: Send either copied the frame (simnet)
+			// or transmitted it synchronously (UDP), so the pooled
+			// backing recycles immediately — sent or dropped alike.
+			ep.cfg.Pool.Free(m.buf)
+		}
+		if err != nil {
 			ep.txDropped.Add(1)
 			errs = append(errs, err)
 			continue
@@ -419,14 +433,16 @@ func (ep *Endpoint) RunOnce() int {
 				break
 			}
 			ep.dispatch(pkt.From, pkt.Data)
-			// dispatch never retains the wire buffer on any branch: the
-			// secure path decrypts into fresh memory, the plaintext path
-			// copies payloads out before handing them to handlers or
-			// pending completions, and decode-failure/replay/auth-drop
-			// branches return without keeping a reference. The receive
-			// buffer is therefore recycled unconditionally — error paths
-			// included.
-			pkt.Release()
+			// Secure endpoints never retain the wire buffer: the data
+			// path decrypts into fresh memory and every drop branch
+			// (decode failure, replay, auth) returns without keeping a
+			// reference, so the receive buffer recycles unconditionally.
+			// Plaintext endpoints hand payload views of the buffer to
+			// handlers and completions — ownership transfers to dispatch
+			// and the buffer falls to the GC instead.
+			if ep.codec != nil {
+				pkt.Release()
+			}
 			continue
 		}
 		from, data, ok := ep.cfg.Transport.Poll()
@@ -448,7 +464,15 @@ func (ep *Endpoint) Close() error {
 	ep.mu.Lock()
 	orphans := ep.pending
 	ep.pending = make(map[uint64]*Pending)
+	unsent := ep.txq
+	ep.txq = nil
 	ep.mu.Unlock()
+	for _, m := range unsent {
+		// Never leak pooled frames parked on the transmit queue.
+		if m.buf != nil {
+			ep.cfg.Pool.Free(m.buf)
+		}
+	}
 	ep.orphaned.Add(uint64(len(orphans)))
 	for _, p := range orphans {
 		p.complete(nil, ErrClosed)
@@ -456,25 +480,61 @@ func (ep *Endpoint) Close() error {
 	return ep.cfg.Transport.Close()
 }
 
-// encode builds the wire representation of a message.
+// encode builds the wire representation of a message in a heap buffer
+// (reply frames outlive the send — the replay cache retains them — so
+// they cannot come from the frame pool). The body is built directly in
+// the wire allocation: sealing appends into the exact-capacity slice
+// instead of producing an intermediate ciphertext that encode copies.
 func (ep *Endpoint) encode(reqType, flags uint8, reqID uint64, md *seal.MsgMetadata, payload []byte) []byte {
-	var body []byte
+	var wire []byte
 	if ep.codec != nil {
-		body = ep.codec.SealMessage(md, payload)
+		wire = make([]byte, headerLen, headerLen+seal.MsgWireLen(len(payload)))
+		wire = ep.codec.SealMessageInto(wire, md, payload)
 	} else {
 		flags |= flagPlaintext
 		md.DataLen = uint32(len(payload))
-		body = make([]byte, seal.MetadataSize+len(payload))
-		md.EncodePlain(body)
-		copy(body[seal.MetadataSize:], payload)
+		wire = make([]byte, headerLen+seal.MetadataSize+len(payload))
+		md.EncodePlain(wire[headerLen:])
+		copy(wire[headerLen+seal.MetadataSize:], payload)
 	}
-	wire := make([]byte, headerLen+len(body))
 	wire[0] = wireVersion
 	wire[1] = reqType
 	wire[2] = flags
 	binary.LittleEndian.PutUint64(wire[4:], reqID)
-	copy(wire[headerLen:], body)
 	return wire
+}
+
+// encodeRequest builds a request's wire representation in a pooled
+// host-region buffer when a mempool is configured, sealing directly into
+// the frame (no intermediate ciphertext copy). Only *request* frames are
+// poolable: the frame is dead once the transport send returns. Reply
+// frames go through encode instead — the replay cache retains them for
+// idempotent re-replies, so they must stay heap-owned.
+func (ep *Endpoint) encodeRequest(reqType, flags uint8, reqID uint64, md *seal.MsgMetadata, payload []byte) ([]byte, *mempool.Buf) {
+	if ep.cfg.Pool == nil {
+		return ep.encode(reqType, flags, reqID, md, payload), nil
+	}
+	bodyLen := seal.MetadataSize + len(payload) // plaintext framing
+	if ep.codec != nil {
+		bodyLen = seal.MsgWireLen(len(payload))
+	}
+	buf := ep.cfg.Pool.Alloc(headerLen+bodyLen, mempool.RegionHost)
+	wire := buf.Full()[:headerLen]
+	if ep.codec != nil {
+		wire = ep.codec.SealMessageInto(wire, md, payload)
+	} else {
+		flags |= flagPlaintext
+		md.DataLen = uint32(len(payload))
+		wire = wire[:headerLen+bodyLen]
+		md.EncodePlain(wire[headerLen:])
+		copy(wire[headerLen+seal.MetadataSize:], payload)
+	}
+	wire[0] = wireVersion
+	wire[1] = reqType
+	wire[2] = flags
+	wire[3] = 0
+	binary.LittleEndian.PutUint64(wire[4:], reqID)
+	return wire, buf
 }
 
 // decode parses and (if secure) authenticates a wire message.
@@ -545,7 +605,11 @@ func (ep *Endpoint) dispatch(from string, wire []byte) {
 		if flags&flagError != 0 {
 			p.complete(nil, fmt.Errorf("%w: %s", ErrRemote, string(payload)))
 		} else {
-			p.complete(append([]byte(nil), payload...), nil)
+			// The completion owns the payload: on the secure path
+			// OpenMessage decrypted into fresh memory, and on the
+			// plaintext path the event loop hands the whole receive
+			// buffer over instead of recycling it (see RunOnce).
+			p.complete(payload, nil)
 		}
 		return
 	}
@@ -570,9 +634,11 @@ func (ep *Endpoint) dispatch(from string, wire []byte) {
 		ep.enqueueWire(from, wireResp)
 		return
 	}
+	// Same ownership rule as the response path: the handler owns the
+	// payload (fresh decryption, or the handed-over receive buffer).
 	req := &Request{
 		Meta:    md,
-		Payload: append([]byte(nil), payload...),
+		Payload: payload,
 		From:    from,
 		ep:      ep,
 		reqType: reqType,

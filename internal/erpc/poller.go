@@ -57,9 +57,13 @@ func (p *Poller) loop() {
 					return
 				}
 				p.ep.HandlePacket(pkt.From, pkt.Data)
-				// Dispatch does not retain the wire buffer (see RunOnce);
-				// recycle it, decode failures included.
-				pkt.Release()
+				// Secure dispatch does not retain the wire buffer (see
+				// RunOnce); recycle it, decode failures included.
+				// Plaintext dispatch takes ownership (payloads alias the
+				// buffer), so it falls to the GC.
+				if p.ep.codec != nil {
+					pkt.Release()
+				}
 			}
 			continue
 		}
@@ -84,6 +88,32 @@ func (p *Poller) Stop() {
 // ErrTimeout indicates a Call did not complete in time.
 var ErrTimeout = fmt.Errorf("erpc: request timed out")
 
+// timerPool recycles Call timeout timers. Timers are returned either
+// after Stop (un-fired, channel drained if the stop lost the race) or
+// after their firing was consumed, so a pooled timer's channel is
+// always empty.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Fired concurrently with Stop; drain so the next acquire does
+		// not observe a stale tick.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // Call enqueues a request and waits until the response arrives or
 // timeout passes. With a nil yield the caller blocks on the completion
 // channel (no spinning). With a fiber yield, the caller cooperatively
@@ -97,9 +127,15 @@ var ErrTimeout = fmt.Errorf("erpc: request timed out")
 func Call(ep *Endpoint, to string, reqType uint8, md seal.MsgMetadata, payload []byte, timeout time.Duration, yield func()) ([]byte, error) {
 	pend := ep.Enqueue(to, reqType, md, payload, nil)
 	if yield == nil {
+		// A pooled timer instead of time.After: at RPC rates the garbage
+		// timers otherwise stay live for the full timeout (seconds) and
+		// dominate the heap.
+		timer := acquireTimer(timeout)
 		select {
 		case <-pend.Ch():
-		case <-time.After(timeout):
+			releaseTimer(timer)
+		case <-timer.C:
+			timerPool.Put(timer) // fired: drained by the receive above
 			if ep.Abandon(pend) {
 				return nil, fmt.Errorf("%w: %s type=%d", ErrTimeout, to, reqType)
 			}

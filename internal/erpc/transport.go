@@ -37,6 +37,11 @@ type RawPacket struct {
 	// buffer came from the GC heap (or is owned by the sender, as on the
 	// in-process sim fabric).
 	release func()
+	// simBuf is the sim fabric's pooled backing of Data. The fabric hands
+	// out the raw pointer rather than a release closure because binding
+	// one per packet is itself an allocation on the poller's critical
+	// path. At most one of simBuf/release is set.
+	simBuf *[]byte
 }
 
 // Release recycles the packet's receive buffer. Call it exactly once,
@@ -44,6 +49,10 @@ type RawPacket struct {
 // failure path, or the buffer leaks from its pool. Nil-safe: packets
 // without pooled buffers ignore it.
 func (p RawPacket) Release() {
+	if p.simBuf != nil {
+		simnet.RecycleBuf(p.simBuf)
+		return
+	}
 	if p.release != nil {
 		p.release()
 	}
@@ -100,10 +109,15 @@ func NewSimTransport(ep *simnet.Endpoint, rt *enclave.Runtime, kind TransportKin
 	return &SimTransport{ep: ep, rt: rt, kind: kind}
 }
 
-var _ ChannelTransport = (*SimTransport)(nil)
+var (
+	_ ChannelTransport = (*SimTransport)(nil)
+	_ PacketTransport  = (*SimTransport)(nil)
+)
 
 // RecvCh implements ChannelTransport: a converter goroutine forwards the
-// simnet inbox, charging receive costs as packets pass.
+// simnet inbox, charging receive costs as packets pass. Each forwarded
+// packet carries the fabric's release hook so the event loop recycles
+// the send-side payload copy after dispatch.
 func (t *SimTransport) RecvCh() <-chan RawPacket {
 	t.recvOnce.Do(func() {
 		t.recvCh = make(chan RawPacket)
@@ -111,7 +125,7 @@ func (t *SimTransport) RecvCh() <-chan RawPacket {
 			defer close(t.recvCh)
 			for pkt := range t.ep.RecvCh() {
 				t.charge(len(pkt.Data))
-				t.recvCh <- RawPacket{From: pkt.From, Data: pkt.Data}
+				t.recvCh <- RawPacket{From: pkt.From, Data: pkt.Data, simBuf: pkt.Buf()}
 			}
 		}()
 	})
@@ -124,9 +138,23 @@ func (t *SimTransport) Send(to string, data []byte) error {
 	return t.ep.Send(to, data)
 }
 
+// PollPacket implements PacketTransport: the caller must Release the
+// packet after dispatching it, returning the fabric's send-side payload
+// copy to its pool.
+func (t *SimTransport) PollPacket() (RawPacket, bool) {
+	pkt, ok := t.ep.Poll()
+	if !ok {
+		return RawPacket{}, false
+	}
+	t.charge(len(pkt.Data))
+	return RawPacket{From: pkt.From, Data: pkt.Data, simBuf: pkt.Buf()}, true
+}
+
 // Poll implements Transport. DPDK polling issues no syscalls; a socket
 // recv costs one syscall only when data is actually drained (we model
-// level-triggered epoll batching for the socket path).
+// level-triggered epoll batching for the socket path). Plain-Poll
+// callers keep the slice, so the pooled backing is not recycled —
+// release-aware callers use PollPacket instead.
 func (t *SimTransport) Poll() (string, []byte, bool) {
 	pkt, ok := t.ep.Poll()
 	if !ok {

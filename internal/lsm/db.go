@@ -154,6 +154,11 @@ func (t StableToken) Ready() bool {
 	return t.ctr.StableValue() >= t.value
 }
 
+// Value returns the log position (trusted counter value) the token waits
+// on. Tests use it to check write-path ordering invariants (an acked
+// position must never exceed the log's synced prefix).
+func (t StableToken) Value() uint64 { return t.value }
+
 // NewStableToken builds a token for an externally managed log (the 2PC
 // layer's Clog binds its entries to its own trusted counter).
 func NewStableToken(ctr TrustedCounter, value uint64) StableToken {
@@ -672,6 +677,10 @@ func (db *DB) commitGroup(group []*commitReq) {
 		}
 		return
 	}
+	// Pooled batch encode: every entry of the group is framed into the
+	// WAL's shared staging buffer, then written with a single syscall —
+	// one enclave-boundary crossing for the whole group instead of one
+	// per transaction.
 	var maxCtr uint64
 	for i, req := range group {
 		var payload []byte
@@ -683,7 +692,7 @@ func (db *DB) commitGroup(group []*commitReq) {
 		case walKindTxDecision:
 			payload = append(req.txID[:], boolByte(req.decision))
 		}
-		ctr, err := db.wal.append(req.kind, payload)
+		ctr, err := db.wal.stage(req.kind, payload)
 		if err != nil {
 			results[i] = commitRes{err: err}
 			continue
@@ -692,7 +701,17 @@ func (db *DB) commitGroup(group []*commitReq) {
 		maxCtr = ctr
 		results[i] = commitRes{token: StableToken{ctr: db.walCtr, value: ctr}}
 	}
-	syncFailed := false
+	writeFailed := false
+	if err := db.wal.flushGroup(); err != nil {
+		// One write carried the whole group; its failure is the group's.
+		writeFailed = true
+		for i := range results {
+			if results[i].err == nil {
+				results[i] = commitRes{err: err}
+			}
+		}
+	}
+	syncFailed := writeFailed
 	if db.opt.SyncWAL {
 		syncStart := time.Now()
 		err := db.wal.sync()

@@ -20,11 +20,15 @@ import (
 // discards acknowledged commits. Used by the native (no counter service)
 // modes; the stabilization modes use the replicated counter service.
 type fileCounter struct {
-	mu     sync.Mutex
-	fs     vfs.FS
-	path   string
-	v      atomic.Uint64
-	failed error
+	mu   sync.Mutex
+	fs   vfs.FS
+	path string
+	v    atomic.Uint64
+	// failed is read lock-free: stabilization waiters poll Failed on
+	// every StableToken.Ready check, and c.mu is held across persist's
+	// fsyncs — polling through the mutex would block every waiting fiber
+	// behind disk latency.
+	failed atomic.Value // sticky error
 }
 
 // Counter file format: value (8 bytes LE) ∥ magic (4 bytes) ∥ CRC32 of
@@ -102,11 +106,11 @@ func NewFileCounter(fs vfs.FS, path string) (TrustedCounter, error) {
 func (c *fileCounter) Stabilize(v uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil || v <= c.v.Load() {
+	if c.Failed() != nil || v <= c.v.Load() {
 		return
 	}
 	if err := c.persist(v); err != nil {
-		c.failed = fmt.Errorf("lsm: counter %s persist: %w", c.path, err)
+		c.failed.Store(fmt.Errorf("lsm: counter %s persist: %w", c.path, err))
 		return
 	}
 	c.v.Store(v)
@@ -147,8 +151,10 @@ func (c *fileCounter) WaitStable(uint64) error { return c.Failed() }
 func (c *fileCounter) StableValue() uint64 { return c.v.Load() }
 
 // Failed implements failableCounter: a persist failure is permanent.
+// Lock-free so readiness polls never block behind an in-flight persist.
 func (c *fileCounter) Failed() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.failed
+	if e := c.failed.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
 }

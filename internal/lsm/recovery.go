@@ -41,9 +41,19 @@ func (db *DB) recover() error {
 		db.corruptions.Add(1)
 	}
 	// Drop any unstabilized or crash-torn manifest tail before appending
-	// again.
+	// again, and force the truncation: if it stayed volatile, a second
+	// crash could resurrect the dropped bytes underneath freshly appended
+	// edits and break the hash chain mid-file. (WAL torn tails need no
+	// such fix — recovery never re-appends to an old WAL; it always
+	// creates a fresh one.)
 	if err := db.fs.Truncate(manifestName(db.opt.Dir), consumed); err != nil {
 		return fmt.Errorf("lsm: truncating manifest: %w", err)
+	}
+	if err := vfs.SyncPath(db.fs, manifestName(db.opt.Dir)); err != nil {
+		return fmt.Errorf("lsm: syncing truncated manifest: %w", err)
+	}
+	if err := db.fs.SyncDir(db.opt.Dir); err != nil {
+		return fmt.Errorf("lsm: syncing dir after manifest truncate: %w", err)
 	}
 
 	v := &version{}

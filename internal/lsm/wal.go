@@ -112,23 +112,51 @@ func createWAL(fs vfs.FS, dir string, number uint64, level seal.SecurityLevel, k
 	return &wal{f: f, codec: codec, rt: rt, ctr: ctr, path: path, number: number}, nil
 }
 
-// append frames and writes one entry, returning its counter value. The
-// write reaches the OS; durability needs sync, rollback protection needs
-// stabilize. A failed write poisons the handle: the codec chain has
-// already advanced past the lost entry, so no later append may succeed.
-func (w *wal) append(kind uint8, payload []byte) (uint64, error) {
+// stage frames one entry into the group staging buffer without issuing
+// any IO, returning its counter value; flushGroup writes every staged
+// entry with a single syscall. Splitting framing from IO lets a commit
+// group of N entries cross the enclave boundary once instead of N times.
+func (w *wal) stage(kind uint8, payload []byte) (uint64, error) {
 	if w.poisoned != nil {
 		return 0, w.poisoned
 	}
-	w.buf = w.buf[:0]
 	var ctr uint64
 	w.buf, ctr = w.codec.AppendEntry(w.buf, kind, payload)
+	return ctr, nil
+}
+
+// flushGroup writes all staged entries with one write. A failed write
+// poisons the handle and fails the whole group: the codec chain has
+// already advanced past the lost entries, so no later append may succeed.
+func (w *wal) flushGroup() error {
+	if w.poisoned != nil {
+		return w.poisoned
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
 	if w.rt != nil {
 		w.rt.Syscall()
 	}
-	if _, err := w.f.Write(w.buf); err != nil {
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	if err != nil {
 		w.poisoned = fmt.Errorf("%w: wal write: %v", ErrLogPoisoned, err)
-		return 0, fmt.Errorf("lsm: wal write: %w", err)
+		return fmt.Errorf("lsm: wal write: %w", err)
+	}
+	return nil
+}
+
+// append frames and writes one entry immediately (stage + flushGroup),
+// returning its counter value. The write reaches the OS; durability needs
+// sync, rollback protection needs stabilize.
+func (w *wal) append(kind uint8, payload []byte) (uint64, error) {
+	ctr, err := w.stage(kind, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.flushGroup(); err != nil {
+		return 0, err
 	}
 	return ctr, nil
 }

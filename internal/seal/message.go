@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Treaty's secure network message layout (§VII-A):
@@ -126,6 +127,39 @@ func (mc *MsgCodec) SealMessage(md *MsgMetadata, data []byte) []byte {
 	// The 4-byte pad is authenticated as associated data so it cannot be
 	// altered in flight.
 	return mc.cipher.aead.Seal(out, nonce[:], plain, out[IVSize:IVSize+padSize])
+}
+
+// msgScratch recycles the plaintext staging buffer SealMessageInto
+// assembles metadata ∥ data in before encryption; the ciphertext goes to
+// the caller's buffer, so the scratch never escapes.
+var msgScratch = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// SealMessageInto is SealMessage appending into dst (which must have
+// MsgWireLen(len(data)) capacity remaining to avoid reallocation —
+// callers pass a pooled wire buffer and seal directly into it, keeping
+// request frames off the heap). The returned slice is dst extended by
+// exactly MsgWireLen(len(data)) bytes.
+func (mc *MsgCodec) SealMessageInto(dst []byte, md *MsgMetadata, data []byte) []byte {
+	md.DataLen = uint32(len(data))
+	sp := msgScratch.Get().(*[]byte)
+	plain := *sp
+	if cap(plain) < MetadataSize+len(data) {
+		plain = make([]byte, 0, MetadataSize+len(data))
+	}
+	plain = plain[:MetadataSize]
+	md.encode(plain)
+	plain = append(plain, data...)
+
+	nonce := mc.cipher.nextNonce()
+	base := len(dst)
+	dst = append(dst, nonce[:]...)
+	dst = append(dst, 0, 0, 0, 0) // authenticated alignment pad
+	dst = mc.cipher.aead.Seal(dst, nonce[:], plain, dst[base+IVSize:base+IVSize+padSize])
+	*sp = plain[:0]
+	msgScratch.Put(sp)
+	return dst
 }
 
 // OpenMessage verifies and decrypts a secure message, returning its

@@ -42,6 +42,50 @@ type Packet struct {
 	To string
 	// Data is the payload. Receivers own the slice.
 	Data []byte
+	// buf is the pooled backing array of Data, nil when Data came from
+	// the GC heap (hand-built packets, duplicated copies).
+	buf *[]byte
+}
+
+// Release returns the packet's pooled receive buffer for reuse. Call it
+// at most once, after Data is no longer referenced; packets without
+// pooled backing ignore it, so consumers that never Release (or can't,
+// because they keep the slice) simply fall back to the GC.
+func (p Packet) Release() {
+	if p.buf != nil {
+		pktBufPool.Put(p.buf)
+	}
+}
+
+// Buf exposes the packet's pooled backing, nil when Data is GC-owned.
+// Release-aware receivers that cannot afford a per-packet closure carry
+// this pointer instead and hand it to RecycleBuf; doing both (Release
+// and RecycleBuf) double-frees.
+func (p Packet) Buf() *[]byte { return p.buf }
+
+// RecycleBuf returns a pooled backing obtained from Packet.Buf. Nil-safe.
+func RecycleBuf(buf *[]byte) {
+	if buf != nil {
+		pktBufPool.Put(buf)
+	}
+}
+
+// pktBufPool recycles send-side payload copies. Every Endpoint.Send
+// copies its payload (the caller may reuse its slice immediately); at
+// RPC rates those copies dominate the fabric's allocation profile, so
+// release-aware receivers hand them back here.
+var pktBufPool sync.Pool
+
+// pooledCopy copies data into a pooled buffer.
+func pooledCopy(data []byte) ([]byte, *[]byte) {
+	buf, _ := pktBufPool.Get().(*[]byte)
+	if buf == nil || cap(*buf) < len(data) {
+		b := make([]byte, len(data))
+		buf = &b
+	}
+	d := (*buf)[:len(data)]
+	copy(d, data)
+	return d, buf
 }
 
 // Verdict is an adversary's decision about a packet.
@@ -323,7 +367,8 @@ func (n *Network) send(pkt Packet) error {
 
 	if partitioned {
 		n.droppedPartition.Add(1)
-		return nil // silent, like a real partition
+		pkt.Release() // dropped frames must not leak their pooled buffer
+		return nil    // silent, like a real partition
 	}
 
 	copies := 1
@@ -332,6 +377,7 @@ func (n *Network) send(pkt Packet) error {
 		v := adv.Interpose(pkt)
 		if v.Drop {
 			n.droppedAdversary.Add(1)
+			pkt.Release()
 			return nil
 		}
 		if v.Mutate != nil {
@@ -345,10 +391,12 @@ func (n *Network) send(pkt Packet) error {
 	cfg := l.cfg
 	if cfg.MTU > 0 && cfg.DropOversized && len(pkt.Data) > cfg.MTU {
 		n.droppedMTU.Add(1)
+		pkt.Release()
 		return nil
 	}
 	if n.chance(cfg.LossRate) {
 		n.droppedLoss.Add(1)
+		pkt.Release()
 		return nil
 	}
 
@@ -370,13 +418,19 @@ func (n *Network) send(pkt Packet) error {
 	for i := 0; i < copies; i++ {
 		p := pkt
 		if copies > 1 {
+			// Duplicated copies each get unshared heap data: exactly one
+			// receiver may Release a pooled buffer.
 			p.Data = append([]byte(nil), pkt.Data...)
+			p.buf = nil
 		}
 		if total <= 0 {
 			dst.deliver(p, n)
 			continue
 		}
 		l.enqueue(n, scheduledPkt{pkt: p, at: time.Now().Add(total), dst: dst})
+	}
+	if copies > 1 {
+		pkt.Release() // the original backing was replaced by heap copies
 	}
 	return nil
 }
@@ -397,12 +451,14 @@ type Endpoint struct {
 func (e *Endpoint) Addr() string { return e.addr }
 
 // Send transmits data to the given address. The payload is copied; the
-// caller may reuse data immediately.
+// caller may reuse data immediately. The copy lives in a pooled buffer
+// that release-aware receivers recycle via Packet.Release.
 func (e *Endpoint) Send(to string, data []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	return e.net.send(Packet{From: e.addr, To: to, Data: append([]byte(nil), data...)})
+	d, buf := pooledCopy(data)
+	return e.net.send(Packet{From: e.addr, To: to, Data: d, buf: buf})
 }
 
 // Recv blocks until a packet arrives or the endpoint closes.
@@ -453,6 +509,7 @@ func (e *Endpoint) deliver(pkt Packet, n *Network) {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
+		pkt.Release()
 		return
 	}
 	select {
@@ -461,6 +518,7 @@ func (e *Endpoint) deliver(pkt Packet, n *Network) {
 		n.bytesDelivered.Add(uint64(len(pkt.Data)))
 	default:
 		// Receiver overrun: drop, as a NIC would.
+		pkt.Release()
 	}
 }
 

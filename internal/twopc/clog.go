@@ -14,9 +14,13 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"treaty/internal/enclave"
 	"treaty/internal/lsm"
+	"treaty/internal/mempool"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
 	"treaty/internal/vfs"
 )
@@ -37,6 +41,9 @@ const (
 	ClogKindPrepare  = clogPrepare
 	ClogKindDecision = clogDecision
 )
+
+// ErrClogClosed indicates an append against a closed coordinator log.
+var ErrClogClosed = errors.New("twopc: clog closed")
 
 // ClogEntry is one recovered coordinator-log record.
 type ClogEntry struct {
@@ -96,28 +103,79 @@ func decodeClogPayload(data []byte) (txID lsm.TxID, commit bool, participants []
 	return
 }
 
+// clogRes completes one waiter of a commit group.
+type clogRes struct {
+	token lsm.StableToken
+	err   error
+}
+
+// clogReq is one entry enqueued for the group-commit leader.
+type clogReq struct {
+	kind    uint8
+	payload []byte
+	ctr     uint64
+	done    chan clogRes
+}
+
+// defaultClogGroup bounds entries per commit group (matching the storage
+// engine's MaxGroupCommit default).
+const defaultClogGroup = 64
+
 // Clog is the coordinator log: it keeps the 2PC protocol state with the
 // same framing, hash chaining, and trusted-counter binding as the WAL and
-// MANIFEST. It is thread-safe; coordinator fibers append independently.
+// MANIFEST. Appends from concurrent coordinator fibers are group-
+// committed: callers enqueue encoded entries, one leader goroutine drains
+// the queue, writes the whole group with a single file write, forces it
+// with a single fsync, and issues a single Stabilize at the group's
+// maximum counter value. Stabilization therefore always follows the force
+// of the entire group — the trusted counter can never run ahead of the
+// log's synced prefix, so a power cut cannot manifest as a false-positive
+// ErrRollbackDetected at recovery.
 type Clog struct {
-	mu    sync.Mutex
 	f     vfs.File
 	codec *seal.LogCodec
 	rt    *enclave.Runtime
 	ctr   lsm.TrustedCounter
-	buf   []byte
-	// syncEvery fsyncs per append when set. Off by default: the crash
-	// model loses process state, not the OS page cache, and durability
-	// ordering against the trusted counter is what recovery checks. Real
-	// deployments that fear power loss call EnableSync; the chaos and
-	// crash-point harnesses enable it so disk faults are exercised.
-	syncEvery bool
+
+	// Group-commit tuning; set by Configure before the first Append.
+	maxGroup int
+	noGroup  bool
+	pool     *mempool.Pool
+
+	appendCh chan *clogReq
+	closedMu sync.RWMutex
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	// mu guards the cross-goroutine mutable state below (the leader is
+	// the only writer of poisoned; Append's fast-fail path and Close read
+	// it).
+	mu sync.Mutex
 	// poisoned is the sticky fail-stop error after a write/sync failure
 	// (fsyncgate: the unsynced tail must be assumed lost, not retried).
 	poisoned error
 	// tornDropped records that opening found and dropped a crash-torn
 	// tail.
 	tornDropped bool
+
+	// lastCtr is the highest counter value assigned to an appended entry;
+	// synced is the highest value known forced to stable storage. The
+	// leader maintains synced ≤ lastCtr and never stabilizes past synced.
+	lastCtr atomic.Uint64
+	synced  atomic.Uint64
+
+	// buf is the leader's group staging buffer: all entries of a group
+	// are framed into it and written with one syscall. When a mempool is
+	// configured it is backed by a pooled host-region buffer (the frames
+	// leave the enclave for the untrusted log).
+	buf      []byte
+	groupBuf *mempool.Buf
+
+	// metrics (nil-safe no-ops without a registry)
+	groupSizes  *obs.Histogram
+	appends     *obs.Counter
+	syncs       *obs.Counter
+	syncLatency *obs.Histogram
 }
 
 // clogName builds the Clog path.
@@ -182,8 +240,20 @@ func OpenClog(fs vfs.FS, dir string, level seal.SecurityLevel, key seal.Key, rt 
 			return nil, nil, fmt.Errorf("%w: clog ends at counter %d, trusted value is %d",
 				lsm.ErrRollbackDetected, last, maxStable)
 		}
-		if err := fs.Truncate(path, int64(off)); err != nil {
-			return nil, nil, fmt.Errorf("twopc: truncating clog: %w", err)
+		if off < len(data) {
+			// Dropping a tail must itself be durable before appending
+			// resumes: without the force a second crash could resurrect
+			// the truncated bytes under freshly appended frames, splicing
+			// the hash chain mid-file.
+			if err := fs.Truncate(path, int64(off)); err != nil {
+				return nil, nil, fmt.Errorf("twopc: truncating clog: %w", err)
+			}
+			if err := vfs.SyncPath(fs, path); err != nil {
+				return nil, nil, fmt.Errorf("twopc: syncing truncated clog: %w", err)
+			}
+			if err := fs.SyncDir(dir); err != nil {
+				return nil, nil, fmt.Errorf("twopc: syncing dir after clog truncate: %w", err)
+			}
 		}
 	}
 
@@ -202,7 +272,53 @@ func OpenClog(fs vfs.FS, dir string, level seal.SecurityLevel, key seal.Key, rt 
 	if rt != nil {
 		rt.Syscall()
 	}
-	return &Clog{f: f, codec: codec, rt: rt, ctr: ctr, tornDropped: torn}, entries, nil
+	c := &Clog{
+		f:        f,
+		codec:    codec,
+		rt:       rt,
+		ctr:      ctr,
+		maxGroup: defaultClogGroup,
+		appendCh: make(chan *clogReq, defaultClogGroup),
+
+		tornDropped: torn,
+	}
+	c.lastCtr.Store(codec.NextCounter() - 1)
+	c.synced.Store(codec.NextCounter() - 1)
+	c.wg.Add(1)
+	go c.leader()
+	return c, entries, nil
+}
+
+// ClogTuning adjusts the group-commit leader.
+type ClogTuning struct {
+	// MaxGroup bounds entries per commit group (0 = 64).
+	MaxGroup int
+	// DisableGroupCommit makes every append write, force, and stabilize
+	// alone (the group-commit ablation).
+	DisableGroupCommit bool
+	// Metrics, when non-nil, exports the append/sync counters and the
+	// "twopc.clog.group_size" histogram.
+	Metrics *obs.Registry
+	// Pool, when non-nil, backs the group staging buffer with pooled
+	// host-region memory (the framed bytes leave the enclave).
+	Pool *mempool.Pool
+}
+
+// Configure applies tuning. It must be called before the first Append:
+// the leader only reads this state while processing a request, so the
+// channel send in Append is what publishes it.
+func (c *Clog) Configure(t ClogTuning) {
+	if t.MaxGroup > 0 {
+		c.maxGroup = t.MaxGroup
+	}
+	c.noGroup = t.DisableGroupCommit
+	c.pool = t.Pool
+	if t.Metrics != nil {
+		c.groupSizes = t.Metrics.Histogram("twopc.clog.group_size")
+		c.appends = t.Metrics.Counter("twopc.clog.appends")
+		c.syncs = t.Metrics.Counter("twopc.clog.syncs")
+		c.syncLatency = t.Metrics.Histogram("twopc.clog.sync.latency_ns")
+	}
 }
 
 // TornTailDropped reports whether opening dropped a crash-torn tail (a
@@ -213,68 +329,224 @@ func (c *Clog) TornTailDropped() bool {
 	return c.tornDropped
 }
 
-// Append logs one entry, syncs, and starts stabilizing it; it returns a
-// token the caller can wait on ("Every Tx/operation is logged to Clog
-// with its own unique trusted counter value"). The Clog is fail-stop: a
-// write or sync failure poisons it — the codec chain has advanced past
-// the lost entry (and after a failed fsync the tail may be gone), so
-// continuing to append would silently splice the protocol log. A
-// counter that can no longer persist poisons it too.
+// Append logs one entry via the group-commit leader and returns a token
+// the caller can wait on ("Every Tx/operation is logged to Clog with its
+// own unique trusted counter value"). The call returns once the entry's
+// group has been written AND forced — an acknowledged append is durable —
+// and its stabilization has started. The Clog is fail-stop: a write or
+// sync failure poisons it and fails the whole unacknowledged cohort — the
+// codec chain has advanced past the lost entries (and after a failed
+// fsync the tail may be gone), so continuing to append would silently
+// splice the protocol log. A counter that can no longer persist poisons
+// it too.
 func (c *Clog) Append(kind uint8, txID lsm.TxID, commit bool, participants []string) (lsm.StableToken, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.poisoned != nil {
-		return lsm.StableToken{}, c.poisoned
+	req := &clogReq{
+		kind:    kind,
+		payload: encodeClogPayload(txID, commit, participants),
+		done:    make(chan clogRes, 1),
 	}
-	c.buf = c.buf[:0]
-	var ctr uint64
-	c.buf, ctr = c.codec.AppendEntry(c.buf, kind, encodeClogPayload(txID, commit, participants))
+	c.closedMu.RLock()
+	if c.closed.Load() {
+		c.closedMu.RUnlock()
+		c.mu.Lock()
+		err := c.poisoned
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClogClosed
+		}
+		return lsm.StableToken{}, err
+	}
+	c.appendCh <- req
+	c.closedMu.RUnlock()
+	res := <-req.done
+	return res.token, res.err
+}
+
+// leader is the group-commit loop: it drains a group of pending appends
+// and commits them with one write, one force, and one counter
+// stabilization (mirroring the storage engine's committer, §VII-B).
+func (c *Clog) leader() {
+	defer c.wg.Done()
+	for req := range c.appendCh {
+		group := []*clogReq{req}
+		if !c.noGroup {
+		drain:
+			for len(group) < c.maxGroup {
+				select {
+				case r2, ok := <-c.appendCh:
+					if !ok {
+						break drain
+					}
+					group = append(group, r2)
+				default:
+					break drain
+				}
+			}
+		}
+		c.commitGroup(group)
+	}
+}
+
+// failGroup completes every waiter of a group with err.
+func failGroup(group []*clogReq, err error) {
+	for _, req := range group {
+		req.done <- clogRes{err: err}
+	}
+}
+
+// poison records the sticky fail-stop error (leader only).
+func (c *Clog) poison(err error) {
+	c.mu.Lock()
+	if c.poisoned == nil {
+		c.poisoned = err
+	}
+	c.mu.Unlock()
+}
+
+// commitGroup writes, forces, and stabilizes one group. The ordering
+// invariant lives here: Stabilize is called only after the group's sync
+// succeeded, and only up to the synced watermark, so the trusted
+// counter's persisted value can never exceed the log's durable prefix.
+func (c *Clog) commitGroup(group []*clogReq) {
+	c.groupSizes.Observe(int64(len(group)))
+	c.mu.Lock()
+	if err := c.poisoned; err != nil {
+		c.mu.Unlock()
+		failGroup(group, err)
+		return
+	}
+	c.mu.Unlock()
+
+	// Pooled batch encode: every entry of the group is framed into one
+	// staging buffer, paying one write and one enclave-boundary crossing
+	// for the whole group.
+	buf := c.stagingBuf()
+	var maxCtr uint64
+	for _, req := range group {
+		buf, req.ctr = c.codec.AppendEntry(buf, req.kind, req.payload)
+		maxCtr = req.ctr
+		c.appends.Inc()
+	}
+	c.lastCtr.Store(maxCtr)
+	c.retainStaging(buf)
 	if c.rt != nil {
 		c.rt.Syscall()
 	}
-	if _, err := c.f.Write(c.buf); err != nil {
-		c.poisoned = fmt.Errorf("%w: clog write: %v", lsm.ErrLogPoisoned, err)
-		return lsm.StableToken{}, fmt.Errorf("twopc: clog write: %w", err)
+	if _, err := c.f.Write(buf); err != nil {
+		c.poison(fmt.Errorf("%w: clog write: %v", lsm.ErrLogPoisoned, err))
+		failGroup(group, fmt.Errorf("twopc: clog write: %w", err))
+		return
 	}
-	if c.syncEvery {
-		if c.rt != nil {
-			c.rt.Syscall()
-		}
-		if err := c.f.Sync(); err != nil {
-			c.poisoned = fmt.Errorf("%w: clog sync: %v", lsm.ErrLogPoisoned, err)
-			return lsm.StableToken{}, fmt.Errorf("twopc: clog sync: %w", err)
-		}
+	if c.rt != nil {
+		c.rt.Syscall()
 	}
-	c.ctr.Stabilize(ctr)
+	syncStart := time.Now()
+	err := c.f.Sync()
+	c.syncs.Inc()
+	c.syncLatency.ObserveSince(syncStart)
+	if err != nil {
+		// The group's durability is unknown (fsyncgate: the tail may be
+		// gone). Never stabilize it — advancing the trusted counter past
+		// a lost tail would turn the loss into a false rollback alarm at
+		// the next boot — and fail exactly this unacknowledged cohort.
+		c.poison(fmt.Errorf("%w: clog sync: %v", lsm.ErrLogPoisoned, err))
+		failGroup(group, fmt.Errorf("twopc: clog sync: %w", err))
+		return
+	}
+	c.synced.Store(maxCtr)
+
+	// Clamp stabilization to the synced prefix. By construction maxCtr ==
+	// synced here; the clamp is the structural guard against ever
+	// reintroducing the stabilize-before-durable ordering bug.
+	stable := maxCtr
+	if s := c.synced.Load(); s < stable {
+		stable = s
+	}
+	c.ctr.Stabilize(stable)
 	if fc, ok := c.ctr.(interface{ Failed() error }); ok {
-		if err := fc.Failed(); err != nil {
-			c.poisoned = fmt.Errorf("%w: clog counter: %v", lsm.ErrLogPoisoned, err)
-			return lsm.StableToken{}, err
+		if cerr := fc.Failed(); cerr != nil {
+			// The counter cannot persist: a restart's freshness check
+			// would discard these entries as an unstabilized tail, so
+			// they must not be acknowledged.
+			c.poison(fmt.Errorf("%w: clog counter: %v", lsm.ErrLogPoisoned, cerr))
+			failGroup(group, cerr)
+			return
 		}
 	}
-	return lsm.NewStableToken(c.ctr, ctr), nil
+	for _, req := range group {
+		req.done <- clogRes{token: lsm.NewStableToken(c.ctr, req.ctr)}
+	}
 }
 
-// EnableSync turns on per-append fsync (power-loss durability).
-func (c *Clog) EnableSync() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.syncEvery = true
+// stagingBuf returns the empty group staging buffer, pool-backed when a
+// mempool is configured.
+func (c *Clog) stagingBuf() []byte {
+	if c.pool == nil {
+		return c.buf[:0]
+	}
+	if c.groupBuf == nil {
+		c.groupBuf = c.pool.Alloc(4096, mempool.RegionHost)
+	}
+	return c.groupBuf.Full()[:0]
 }
 
-// Close closes the log file.
+// retainStaging keeps the (possibly grown) staging buffer for the next
+// group. A group that outgrew a pooled buffer escaped to the heap; the
+// pooled backing is re-sized so the next group stays pooled.
+func (c *Clog) retainStaging(buf []byte) {
+	if c.pool == nil {
+		c.buf = buf
+		return
+	}
+	if cap(buf) > cap(c.groupBuf.Full()) {
+		c.pool.Free(c.groupBuf)
+		c.groupBuf = c.pool.Alloc(cap(buf), mempool.RegionHost)
+	}
+}
+
+// EnableSync is retained for compatibility: the group-commit leader
+// forces every group before stabilizing it, so per-append durability is
+// unconditional and this is a no-op.
+func (c *Clog) EnableSync() {}
+
+// Close drains the leader and closes the log file. A poisoned log never
+// reports a clean close: its tail durability is unknown, and pretending
+// otherwise would let a shutdown path mask an acknowledged-loss bug.
 func (c *Clog) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.closedMu.Lock()
+	close(c.appendCh)
+	c.closedMu.Unlock()
+	c.wg.Wait()
+	if c.rt != nil {
+		c.rt.Syscall()
+	}
+	cerr := c.f.Close()
+	if c.groupBuf != nil {
+		c.pool.Free(c.groupBuf)
+		c.groupBuf = nil
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.f.Close()
+	p := c.poisoned
+	c.mu.Unlock()
+	if p != nil {
+		return p
+	}
+	if cerr != nil {
+		return fmt.Errorf("twopc: clog close: %w", cerr)
+	}
+	return nil
 }
 
 // LastCounter returns the counter value of the most recent entry.
-func (c *Clog) LastCounter() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.codec.NextCounter() - 1
-}
+func (c *Clog) LastCounter() uint64 { return c.lastCtr.Load() }
+
+// SyncedCounter returns the highest counter value known forced to stable
+// storage (test hook for the ordering invariant: acknowledged tokens
+// never exceed it).
+func (c *Clog) SyncedCounter() uint64 { return c.synced.Load() }
 
 // Stable reports whether every appended entry is rollback-protected —
 // one of the two preconditions for Clog truncation (§VI: "The Clog is
@@ -282,7 +554,5 @@ func (c *Clog) LastCounter() uint64 {
 // any unfinished prepared transaction entry"). The other precondition —
 // no unfinished prepared transactions — is the coordinator's to check.
 func (c *Clog) Stable() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ctr.StableValue() >= c.codec.NextCounter()-1
+	return c.ctr.StableValue() >= c.lastCtr.Load()
 }

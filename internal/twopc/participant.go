@@ -294,6 +294,11 @@ func (p *Participant) handleDelete(f *fibers.Fiber, req *erpc.Request) {
 // handlePrepare durably prepares the local transaction. The reply is
 // delayed until the prepare entry is stabilized (§V-A step 8) — the
 // Prepare call below blocks (yielding) until rollback protection holds.
+// The prepare's WAL force groups in the engine's committer, and the
+// stabilization wait rides the counter client's per-round batching:
+// one trusted-counter round covers the whole cohort of concurrently
+// preparing transactions (§VI), whose readiness polls are satisfied by
+// a single lock-free stable-value read after the round's broadcast.
 // Re-prepares of an already-prepared transaction ACK idempotently.
 func (p *Participant) handlePrepare(f *fibers.Fiber, req *erpc.Request) {
 	id := txIDOf(req.Meta)

@@ -279,9 +279,12 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return res, fmt.Errorf("initial clog open: %w", err)
 	}
-	// The harness needs Append to be durable when it returns, so the
-	// acked-Clog-records-survive invariant is checkable.
-	clog.EnableSync()
+	// Deliberately no EnableSync here: the group-commit leader forces
+	// every group before acknowledging it, so the acked-Clog-records-
+	// survive invariant must hold at the sync-disabled settings that
+	// previously stabilized before durability and tripped a false
+	// ErrRollbackDetected on power-cut images. This run IS the
+	// regression pin for that ordering bug.
 
 	expected := expectedStates(cfg.Ops)
 	issued := make(map[lsm.TxID]bool)

@@ -72,6 +72,24 @@ type FS interface {
 // ErrNoSpace is the injected out-of-disk-space error.
 var ErrNoSpace = errors.New("vfs: no space left on device (injected)")
 
+// SyncPath force-syncs an existing file by path: open, Sync, Close. It is
+// the durability step after an FS.Truncate — under the strict model a
+// truncation is only crash-durable once the file has been fsynced, and a
+// recovery path that truncates a torn log tail must force the truncation
+// before new appends land, or a second crash can resurrect the dropped
+// bytes underneath fresh frames.
+func SyncPath(fs FS, name string) error {
+	f, err := fs.OpenFile(name, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Default is the process-wide passthrough filesystem.
 var Default FS = OS{}
 
