@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary crashpoint fuzz vet bench-baseline bench-smoke
+.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary soak-reshard crashpoint fuzz vet bench-baseline bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,16 +41,28 @@ soak-disk:
 soak-adversary:
 	$(GO) test -v -run TestChaosSoakAdversary ./internal/chaos/
 
+# Full 16-round migration soak: online slot migrations — including
+# rounds that kill the source node mid-stream and retry after restart —
+# under live audited bank-transfer traffic interleaved with packet loss
+# and delay+duplication, run under -race. The soak asserts slots moved,
+# sources died, live transactions hit the fence, every node converged on
+# the final epoch, and the full history stayed serializable across every
+# epoch boundary.
+soak-reshard:
+	$(GO) test -race -v -run TestChaosSoakReshard ./internal/chaos/
+
 # Coverage-guided fuzzing of every externally-reachable decoder: erpc
 # frames (plaintext + sealed), the replay cache, the counter-service
-# request codec, and the full 2PC protocol handler stack. Go allows one
-# -fuzz target per invocation, so each runs separately for FUZZTIME.
+# request codec, the full 2PC protocol handler stack, and the shard-map
+# decode/verify path. Go allows one -fuzz target per invocation, so each
+# runs separately for FUZZTIME.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/erpc/
 	$(GO) test -run '^$$' -fuzz FuzzReplayCache -fuzztime $(FUZZTIME) ./internal/erpc/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeReq -fuzztime $(FUZZTIME) ./internal/counter/
 	$(GO) test -run '^$$' -fuzz FuzzProtocolMessages -fuzztime $(FUZZTIME) ./internal/twopc/
+	$(GO) test -run '^$$' -fuzz FuzzShardMapDecode -fuzztime $(FUZZTIME) ./internal/shardmap/
 
 # Crash-point harness: power-cut after every durable write site
 # (WAL/SSTable/MANIFEST/counter/Clog) at all three security levels,
@@ -62,8 +74,9 @@ vet:
 	$(GO) vet ./...
 
 # Capture the committed performance baseline (Fig. 4, Fig. 5 YCSB panels
-# incl. a no-cache reference arm, block-cache ablation) into
-# BENCH_baseline.json. See EXPERIMENTS.md for the comparison workflow.
+# incl. a no-cache reference arm, block-cache ablation, and the 3→5→9
+# node scaling sweep) into BENCH_baseline.json. See EXPERIMENTS.md for
+# the comparison workflow.
 bench-baseline:
 	$(GO) run ./cmd/treaty-bench -exp baseline -baseline-out BENCH_baseline.json
 

@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1|baseline]
+//	treaty-bench [-exp all|fig3|fig4|fig5|fig6|fig7|fig8|table1|scaling|baseline]
 //	             [-duration 2s] [-clients 32] [-entries 200000]
 //	             [-metrics out.json] [-baseline-out BENCH_baseline.json]
 //
+// -exp scaling runs the horizontal-scaling sweep: the same read-heavy
+// offered load against 3, 5, and 9 node clusters.
+//
 // -exp baseline captures the committed performance baseline: Fig. 4, the
-// Fig. 5 YCSB panels (with a no-cache reference arm), and the block-cache
-// ablation, written as JSON to -baseline-out (see EXPERIMENTS.md).
+// Fig. 5 YCSB panels (with a no-cache reference arm), the block-cache
+// ablation, and the scaling sweep, written as JSON to -baseline-out (see
+// EXPERIMENTS.md).
 package main
 
 import (
@@ -25,7 +29,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, fig7, fig8, table1, baseline")
+	exp := flag.String("exp", "all", "experiment: all, fig3, fig4, fig5, fig6, fig7, fig8, table1, scaling, baseline")
 	duration := flag.Duration("duration", 2*time.Second, "measurement duration per version")
 	clients := flag.Int("clients", 32, "concurrent clients")
 	entries := flag.Int("entries", 200000, "log entries for the recovery experiment (paper: 800000)")
@@ -162,9 +166,20 @@ func main() {
 		return nil
 	})
 
+	run("scaling", func() error {
+		cfg := bench.ScalingConfig{Duration: *duration}
+		ms, err := bench.RunScaling(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.PrintScaling(cfg, ms))
+		captureMetrics(ms)
+		return nil
+	})
+
 	if *exp != "all" {
 		switch *exp {
-		case "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1":
+		case "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "scaling":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	treatystat [-nodes 3] [-txns 200] [-mode enc|stab] [-digest]
+//	treatystat [-nodes 3] [-txns 200] [-mode enc|stab] [-digest] [-shardmap]
 //
 // -digest prints the condensed per-node report (the same digest the
 // benchmark harness attaches to distributed measurements) instead of the
 // raw snapshot.
+//
+// -shardmap prints the attested routing state instead: the CAS map's
+// epoch and trusted-counter binding, per-slot ownership, and the epoch
+// each node's verified view is at.
 package main
 
 import (
@@ -21,7 +25,23 @@ import (
 
 	"treaty/internal/bench"
 	"treaty/internal/core"
+	"treaty/internal/shardmap"
 )
+
+// shardMapDump is the -shardmap output: the cluster's routing truth in
+// one readable object.
+type shardMapDump struct {
+	Epoch   uint64            `json:"epoch"`
+	Counter uint64            `json:"counter"`
+	Members []shardmap.Member `json:"members"`
+	// Slots maps each hash slot to its owning node id.
+	Slots [shardmap.NumSlots]uint64 `json:"slots"`
+	// SlotsByNode inverts Slots: node id -> owned slot numbers.
+	SlotsByNode map[uint64][]int `json:"slots_by_node"`
+	// NodeEpochs is each live node's verified view epoch; a node lagging
+	// the CAS epoch has not refreshed yet.
+	NodeEpochs map[string]uint64 `json:"node_epochs"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -29,6 +49,7 @@ func main() {
 	txns := flag.Int("txns", 200, "transactions to run before snapshotting")
 	mode := flag.String("mode", "enc", "security mode: enc (encrypted, immediate counters) or stab (counter-service stabilization)")
 	digest := flag.Bool("digest", false, "print the condensed per-node digest instead of the raw snapshot")
+	shardMap := flag.Bool("shardmap", false, "print the attested shard map (epoch, per-slot ownership, per-node view epochs)")
 	flag.Parse()
 
 	secMode := core.ModeNativeTreatyEnc
@@ -72,9 +93,29 @@ func main() {
 	}
 
 	var out []byte
-	if *digest {
+	switch {
+	case *shardMap:
+		m := cluster.CAS().ShardMap()
+		dump := shardMapDump{
+			Epoch:       m.Epoch,
+			Counter:     m.Counter,
+			Members:     m.Members,
+			Slots:       m.Slots,
+			SlotsByNode: make(map[uint64][]int),
+			NodeEpochs:  make(map[string]uint64),
+		}
+		for slot, owner := range m.Slots {
+			dump.SlotsByNode[owner] = append(dump.SlotsByNode[owner], slot)
+		}
+		for i := 0; i < cluster.Nodes(); i++ {
+			if n := cluster.Node(i); n != nil {
+				dump.NodeEpochs[n.Addr()] = n.ShardEpoch()
+			}
+		}
+		out, err = json.MarshalIndent(dump, "", "  ")
+	case *digest:
 		out, err = json.MarshalIndent(bench.CaptureMetrics("treatystat", cluster), "", "  ")
-	} else {
+	default:
 		out, err = cluster.SnapshotJSON()
 	}
 	if err != nil {

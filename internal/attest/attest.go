@@ -32,6 +32,7 @@ import (
 
 	"treaty/internal/enclave"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 )
 
 // Errors returned by this package.
@@ -164,23 +165,115 @@ func readStringList(b []byte) ([]string, []byte, error) {
 type CAS struct {
 	ias      *IAS
 	expected enclave.Measurement
-	config   ClusterConfig
 
 	mu      sync.Mutex
+	config  ClusterConfig
 	lass    map[string]bool   // platforms with a verified LAS
 	clients map[string][]byte // client id -> credential secret
+
+	// Shard-map authority: the CAS signs every shard-map epoch under a
+	// key derived from the network key and binds the epoch to shardCtr,
+	// a trusted monotonic counter (simulated here exactly like the
+	// nodes' trusted counters — it only ever ratchets forward). The
+	// counter's stable value is the freshness floor every verifier
+	// holds: a replayed older epoch fails verification against it.
+	shardKey seal.Key
+	shard    *shardmap.Map
+	shardCtr uint64
 }
 
 // NewCAS deploys a CAS trusting enclaves with the expected measurement
-// and distributing config.
+// and distributing config. The epoch-1 shard map (slots dealt uniformly
+// across config.Nodes) is signed and counter-bound immediately.
 func NewCAS(ias *IAS, expected enclave.Measurement, config ClusterConfig) *CAS {
-	return &CAS{
+	c := &CAS{
 		ias:      ias,
 		expected: expected,
 		config:   config,
 		lass:     make(map[string]bool),
 		clients:  make(map[string][]byte),
+		shardKey: shardmap.KeyFor(config.NetworkKey),
 	}
+	members := make([]shardmap.Member, len(config.Nodes))
+	for i, addr := range config.Nodes {
+		members[i] = shardmap.Member{ID: uint64(i), Addr: addr}
+	}
+	if len(members) > 0 {
+		m := shardmap.Uniform(members)
+		m.Sign(c.shardKey)
+		c.shard = m
+		c.shardCtr = m.Epoch
+	}
+	return c
+}
+
+// ShardMap returns the current signed shard map (a copy; maps are
+// immutable once signed).
+func (c *CAS) ShardMap() *shardmap.Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shard == nil {
+		return nil
+	}
+	return c.shard.Clone()
+}
+
+// ShardMapStable returns the shard-map trusted counter's stable value:
+// the minimum epoch any verifier should accept.
+func (c *CAS) ShardMapStable() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardCtr
+}
+
+// InstallShardMap publishes the next shard-map epoch: it must advance
+// the epoch by exactly one from the current map and reference only
+// known members. The CAS signs it and stabilizes the trusted counter
+// to the new epoch BEFORE releasing the map — the ordering that makes
+// rollback detection sound (no verifier can ever have seen an epoch
+// above the counter).
+func (c *CAS) InstallShardMap(next *shardmap.Map) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shard == nil {
+		return errors.New("attest: no shard map deployed")
+	}
+	if next.Epoch != c.shard.Epoch+1 {
+		return fmt.Errorf("attest: shard map epoch must advance by one (%d -> %d)", c.shard.Epoch, next.Epoch)
+	}
+	m := next.Clone()
+	m.Counter = m.Epoch
+	m.Sign(c.shardKey)
+	if err := m.Verify(c.shardKey, c.shardCtr); err != nil {
+		return fmt.Errorf("attest: refusing to install shard map: %w", err)
+	}
+	// Stabilize the counter first, then swap: the map is only reachable
+	// once its epoch is the counter's floor.
+	c.shardCtr = m.Epoch
+	c.shard = m
+	return nil
+}
+
+// AddNode extends the cluster with a new member: the address joins the
+// provisioned node list (so the new node's attestation sees itself),
+// and a new shard-map epoch adds the member owning zero slots — slots
+// move to it only through explicit migration. Returns the new map.
+func (c *CAS) AddNode(addr string) (*shardmap.Map, error) {
+	c.mu.Lock()
+	if c.shard == nil {
+		c.mu.Unlock()
+		return nil, errors.New("attest: no shard map deployed")
+	}
+	id := uint64(len(c.config.Nodes))
+	c.config.Nodes = append(c.config.Nodes, addr)
+	next := c.shard.Clone()
+	next.Epoch++
+	next.Members = append(next.Members, shardmap.Member{ID: id, Addr: addr})
+	c.mu.Unlock()
+	if err := c.InstallShardMap(next); err != nil {
+		return nil, err
+	}
+	return c.ShardMap(), nil
 }
 
 // DeployLAS verifies (over IAS) and registers a LAS for a platform. Until
@@ -227,6 +320,8 @@ type AttestationResponse struct {
 func (c *CAS) Attest(req *AttestationRequest) (*AttestationResponse, error) {
 	c.mu.Lock()
 	hasLAS := c.lass[req.Quote.Platform]
+	cfg := c.config
+	cfg.Nodes = append([]string(nil), c.config.Nodes...)
 	c.mu.Unlock()
 	if !hasLAS {
 		return nil, fmt.Errorf("%w: no LAS on %s", ErrQuoteRejected, req.Quote.Platform)
@@ -254,7 +349,7 @@ func (c *CAS) Attest(req *AttestationRequest) (*AttestationResponse, error) {
 	}
 	return &AttestationResponse{
 		CASPublicKey: casPub,
-		SealedConfig: ciph.Seal(encodeConfig(&c.config), req.PublicKey),
+		SealedConfig: ciph.Seal(encodeConfig(&cfg), req.PublicKey),
 	}, nil
 }
 
@@ -263,6 +358,7 @@ func (c *CAS) Attest(req *AttestationRequest) (*AttestationResponse, error) {
 func (c *CAS) AuthenticateClient(id string, secret, clientPub []byte) (*AttestationResponse, error) {
 	c.mu.Lock()
 	want, ok := c.clients[id]
+	cfg := ClusterConfig{NetworkKey: c.config.NetworkKey, Nodes: append([]string(nil), c.config.Nodes...)}
 	c.mu.Unlock()
 	if !ok || !bytes.Equal(want, secret) {
 		return nil, ErrBadCredentials
@@ -275,7 +371,6 @@ func (c *CAS) AuthenticateClient(id string, secret, clientPub []byte) (*Attestat
 	if err != nil {
 		return nil, err
 	}
-	cfg := ClusterConfig{NetworkKey: c.config.NetworkKey, Nodes: c.config.Nodes}
 	return &AttestationResponse{
 		CASPublicKey: casPub,
 		SealedConfig: ciph.Seal(encodeConfig(&cfg), clientPub),

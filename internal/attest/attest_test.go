@@ -6,6 +6,7 @@ import (
 
 	"treaty/internal/enclave"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 )
 
 // testbed wires an IAS, a CAS, and one node platform with a LAS.
@@ -245,5 +246,88 @@ func TestConfigCodecRoundTrip(t *testing.T) {
 	}
 	if len(out.CounterReplicas) != 1 || out.CounterReplicas[0] != "x" {
 		t.Errorf("replicas = %v", out.CounterReplicas)
+	}
+}
+
+func TestCASShardMapAuthority(t *testing.T) {
+	tb := newTestbed(t)
+	key := shardmap.KeyFor(tb.config.NetworkKey)
+
+	m := tb.cas.ShardMap()
+	if m == nil || m.Epoch != 1 {
+		t.Fatalf("boot shard map: %+v", m)
+	}
+	if err := m.Verify(key, tb.cas.ShardMapStable()); err != nil {
+		t.Fatalf("boot map verification: %v", err)
+	}
+	if len(m.Members) != 3 {
+		t.Fatalf("boot map has %d members", len(m.Members))
+	}
+
+	// Install epoch 2: migrate slot 0 to member 1.
+	next := m.Clone()
+	next.Epoch++
+	next.Slots[0] = 1
+	if err := tb.cas.InstallShardMap(next); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if got := tb.cas.ShardMapStable(); got != 2 {
+		t.Fatalf("counter not stabilized: %d", got)
+	}
+	cur := tb.cas.ShardMap()
+	if cur.Epoch != 2 || cur.SlotOwner(0) != 1 {
+		t.Fatalf("epoch 2 not live: %+v", cur)
+	}
+	if err := cur.Verify(key, tb.cas.ShardMapStable()); err != nil {
+		t.Fatalf("epoch 2 verification: %v", err)
+	}
+
+	// The replayed epoch-1 map now fails against the counter floor.
+	if err := m.Verify(key, tb.cas.ShardMapStable()); !errors.Is(err, shardmap.ErrStaleEpoch) {
+		t.Fatalf("replayed epoch 1: want ErrStaleEpoch, got %v", err)
+	}
+
+	// Epoch skips are refused.
+	skip := cur.Clone()
+	skip.Epoch += 2
+	if err := tb.cas.InstallShardMap(skip); err == nil {
+		t.Fatal("epoch skip accepted")
+	}
+}
+
+func TestCASAddNode(t *testing.T) {
+	tb := newTestbed(t)
+	m, err := tb.cas.AddNode("node-4:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 || len(m.Members) != 4 {
+		t.Fatalf("AddNode map: epoch=%d members=%d", m.Epoch, len(m.Members))
+	}
+	if a, ok := m.Addr(3); !ok || a != "node-4:9000" {
+		t.Fatalf("new member addr: %q %v", a, ok)
+	}
+	// The new member owns nothing until a migration moves slots to it.
+	for s := 0; s < shardmap.NumSlots; s++ {
+		if m.SlotOwner(s) == 3 {
+			t.Fatalf("slot %d assigned to fresh member without migration", s)
+		}
+	}
+	// A client authenticating now sees the grown node list.
+	sess, err := NewClientSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.cas.RegisterClient("c", []byte("s"))
+	resp, err := tb.cas.AuthenticateClient("c", []byte("s"), sess.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := sess.OpenResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 4 {
+		t.Fatalf("client config has %d nodes, want 4", len(cfg.Nodes))
 	}
 }

@@ -11,12 +11,12 @@ import (
 // protocol-only panel (Fig. 4), the distributed read-heavy and
 // write-heavy YCSB panels (Fig. 5) with per-node digests including
 // cache hit rates, a no-cache reference arm of the read-heavy panel,
-// and the block-cache ablation.
+// the block-cache ablation, and the horizontal-scaling sweep.
 
 // BaselineSchemaVersion identifies the JSON layout; bump on
 // incompatible changes so comparisons fail loudly instead of silently
-// misreading fields.
-const BaselineSchemaVersion = 1
+// misreading fields. v2 added the scaling panel.
+const BaselineSchemaVersion = 2
 
 // BaselinePanel is one measured panel.
 type BaselinePanel struct {
@@ -36,6 +36,9 @@ type Baseline struct {
 	Fig5WriteHeavy       BaselinePanel    `json:"fig5_ycsb_20r"`
 	Fig5ReadHeavyNoCache BaselinePanel    `json:"fig5_ycsb_80r_no_cache"`
 	BlockCache           BlockCacheResult `json:"block_cache_ablation"`
+	// Scaling is the 3→5→9 node throughput sweep under fixed offered
+	// load; its throughput column must increase down the rows.
+	Scaling BaselinePanel `json:"scaling_read_heavy"`
 }
 
 // BaselineConfig tunes the capture.
@@ -95,6 +98,14 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		return nil, err
 	}
 	b.BlockCache = abl
+
+	// The scaling sweep keeps its own fabric and client count: its point
+	// is the capacity curve, not comparability with the figure panels.
+	scaling, err := RunScaling(ScalingConfig{})
+	if err != nil {
+		return nil, err
+	}
+	b.Scaling.Measurements = scaling
 	return b, nil
 }
 

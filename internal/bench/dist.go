@@ -7,7 +7,6 @@ import (
 	"treaty/internal/core"
 	"treaty/internal/lsm"
 	"treaty/internal/simnet"
-	"treaty/internal/twopc"
 	"treaty/internal/workload"
 )
 
@@ -144,13 +143,14 @@ func runDistYCSB(c *core.Cluster, cfg DistConfig, readRatio float64) (Measuremen
 // benchmark loader, not the measured path): keys are routed exactly as
 // the cluster's shard map routes them.
 func loadDirect(c *core.Cluster, fill func(put func(k, v []byte))) error {
-	addrs := make([]string, c.Nodes())
 	byAddr := make(map[string]*lsm.Batch, c.Nodes())
 	for i := 0; i < c.Nodes(); i++ {
-		addrs[i] = c.Node(i).Addr()
-		byAddr[addrs[i]] = lsm.NewBatch()
+		byAddr[c.Node(i).Addr()] = lsm.NewBatch()
 	}
-	router := core.RouterFor(addrs)
+	// Route exactly as the live cluster routes: through the shard map the
+	// nodes enforce. A loader with its own hash would place keys on nodes
+	// the participants refuse to serve.
+	view := c.Node(0).Shard().View()
 	flush := func() error {
 		for addr, b := range byAddr {
 			if b.Count() == 0 {
@@ -174,7 +174,7 @@ func loadDirect(c *core.Cluster, fill func(put func(k, v []byte))) error {
 		if ferr != nil {
 			return
 		}
-		byAddr[router(k)].Put(k, v)
+		byAddr[view.Owner(k)].Put(k, v)
 		count++
 		if count%2000 == 0 {
 			ferr = flush()
@@ -272,17 +272,13 @@ func runDistTPCC(c *core.Cluster, cfg DistConfig, warehouses int) (Measurement, 
 
 // loadTPCCDirect runs the TPC-C loader against the direct bulk path.
 func loadTPCCDirect(c *core.Cluster, loader *workload.TPCC) error {
-	addrs := make([]string, c.Nodes())
-	for i := range addrs {
-		addrs[i] = c.Node(i).Addr()
-	}
-	router := core.RouterFor(addrs)
-	nodeFor := make(map[string]*core.Node, len(addrs))
+	view := c.Node(0).Shard().View()
+	nodeFor := make(map[string]*core.Node, c.Nodes())
 	for i := 0; i < c.Nodes(); i++ {
 		nodeFor[c.Node(i).Addr()] = c.Node(i)
 	}
 	begin := func() workload.Txn {
-		return &directTxn{router: router, nodes: nodeFor, batches: map[string]*lsm.Batch{}}
+		return &directTxn{route: view.Owner, nodes: nodeFor, batches: map[string]*lsm.Batch{}}
 	}
 	if err := loader.Load(begin, 2000); err != nil {
 		return err
@@ -299,7 +295,7 @@ func loadTPCCDirect(c *core.Cluster, loader *workload.TPCC) error {
 // directTxn is the loader's pseudo-transaction: puts are routed into
 // per-node batches applied at commit. It is write-only.
 type directTxn struct {
-	router  twopc.Router
+	route   func(key []byte) string
 	nodes   map[string]*core.Node
 	batches map[string]*lsm.Batch
 }
@@ -309,7 +305,7 @@ func (t *directTxn) Get([]byte) ([]byte, bool, error) { return nil, false, nil }
 
 // Put implements workload.Txn.
 func (t *directTxn) Put(key, value []byte) error {
-	addr := t.router(key)
+	addr := t.route(key)
 	b, ok := t.batches[addr]
 	if !ok {
 		b = lsm.NewBatch()

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScalingShape runs the scaling harness at miniature scale (2 and 3
+// node clusters, sub-second window) and asserts structure: one labelled
+// measurement per cluster size, transactions committed at each, and a
+// metrics report per row. The monotone capacity curve itself is asserted
+// on the committed full-scale baseline, not in a short noisy run.
+func TestScalingShape(t *testing.T) {
+	cfg := ScalingConfig{
+		Clients:    12,
+		Duration:   500 * time.Millisecond,
+		NodeCounts: []int{2, 3},
+	}
+	ms, err := RunScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("rows = %d, want 2", len(ms))
+	}
+	if ms[0].Label != "2 nodes" || ms[1].Label != "3 nodes" {
+		t.Errorf("labels = %q, %q", ms[0].Label, ms[1].Label)
+	}
+	for _, m := range ms {
+		if m.Committed == 0 {
+			t.Errorf("%s committed no transactions", m.Label)
+		}
+		if m.Metrics == nil || len(m.Metrics.Nodes) == 0 {
+			t.Errorf("%s: no metrics report captured", m.Label)
+		}
+	}
+	out := PrintScaling(cfg, ms)
+	if !strings.Contains(out, "Scaling") || !strings.Contains(out, "3 nodes") {
+		t.Errorf("printout missing rows:\n%s", out)
+	}
+	t.Log("\n" + out)
+}

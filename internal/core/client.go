@@ -9,7 +9,9 @@ import (
 	"treaty/internal/attest"
 	"treaty/internal/erpc"
 	"treaty/internal/fibers"
+	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 	"treaty/internal/simnet"
 	"treaty/internal/twopc"
 )
@@ -193,6 +195,15 @@ type Client struct {
 	timeout time.Duration
 	nextTx  uint64
 	nextOp  uint64
+
+	// Shard-map view: clients verify the CAS-signed map like nodes do
+	// (signature under the network key, epoch bound to the trusted
+	// counter) so a replayed older map cannot redirect their traffic.
+	cas      *attest.CAS
+	shardKey seal.Key
+	shard    *shardmap.Holder
+	shardMin uint64
+	met      *obs.Registry
 }
 
 // ClientOptions configures Connect.
@@ -215,6 +226,10 @@ type ClientOptions struct {
 	Timeout time.Duration
 	// Secure must match the cluster's RPC security mode.
 	Secure bool
+	// Metrics, when non-nil, exports client-side shard-map counters
+	// (shardmap.stale_epoch_rejected fires when a replayed map is
+	// refused).
+	Metrics *obs.Registry
 }
 
 // Connect authenticates with the CAS and opens a coordinator session.
@@ -252,14 +267,79 @@ func Connect(opts ClientOptions) (*Client, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	return &Client{
-		id:      opts.ID,
-		ep:      ep,
-		poller:  erpc.StartPoller(ep),
-		coord:   coord,
-		nodes:   cfg.Nodes,
-		timeout: timeout,
-	}, nil
+	c := &Client{
+		id:       opts.ID,
+		ep:       ep,
+		poller:   erpc.StartPoller(ep),
+		coord:    coord,
+		nodes:    cfg.Nodes,
+		timeout:  timeout,
+		cas:      opts.CAS,
+		shardKey: shardmap.KeyFor(cfg.NetworkKey),
+		shard:    shardmap.NewHolder(nil),
+		met:      opts.Metrics,
+	}
+	// Establish the initial verified shard-map view. A client that
+	// cannot verify the routing epoch must not connect.
+	if m := opts.CAS.ShardMap(); m != nil {
+		if err := c.ApplyShardMap(m); err != nil {
+			c.poller.Stop()
+			_ = c.ep.Close()
+			return nil, fmt.Errorf("core: client shard map rejected: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// ApplyShardMap verifies a presented shard map against the CAS
+// signature, the trusted counter, and the client's highest-seen epoch,
+// and adopts it if it advances the view. A replayed older map — even a
+// genuinely signed one — fails the counter binding and fires
+// shardmap.stale_epoch_rejected on the client's registry.
+func (c *Client) ApplyShardMap(m *shardmap.Map) error {
+	floor := c.shardMin
+	if ctr := c.cas.ShardMapStable(); ctr > floor {
+		floor = ctr
+	}
+	if err := m.Verify(c.shardKey, floor); err != nil {
+		if errors.Is(err, shardmap.ErrStaleEpoch) {
+			c.met.Counter("shardmap.stale_epoch_rejected").Inc()
+		}
+		return err
+	}
+	if m.Epoch > c.shardMin {
+		c.shardMin = m.Epoch
+	}
+	if cur := c.shard.View(); cur == nil || m.Epoch > cur.Epoch {
+		c.shard.Store(m.Clone())
+	}
+	return nil
+}
+
+// RefreshShardMap refetches and re-verifies the CAS map (after a
+// wrong-epoch rejection).
+func (c *Client) RefreshShardMap() error {
+	m := c.cas.ShardMap()
+	if m == nil {
+		return errors.New("core: CAS has no shard map")
+	}
+	return c.ApplyShardMap(m)
+}
+
+// ShardEpoch reports the client's verified shard-map epoch (0 before
+// any map was accepted).
+func (c *Client) ShardEpoch() uint64 {
+	if v := c.shard.View(); v != nil {
+		return v.Epoch
+	}
+	return 0
+}
+
+// IsRetriable reports whether a transaction error is a transient
+// routing condition — wrong epoch or a migration fence — that a client
+// resolves by refreshing its shard map and retrying the transaction.
+func IsRetriable(err error) bool {
+	return twopc.IsWrongEpoch(err) || twopc.IsSlotFenced(err)
 }
 
 // Close releases the client.

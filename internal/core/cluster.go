@@ -47,6 +47,11 @@ type ClusterOptions struct {
 	// BlockCacheBytes sizes each node's authenticated block cache
 	// (0 = engine default, negative disables — the cache ablation).
 	BlockCacheBytes int64
+	// EPCBudget sizes each node's modelled enclave page cache in bytes
+	// (0 = the SGXv1 default, 94 MiB). The scaling experiments shrink it
+	// so EPC pressure — the paper's §II-B scale-out motivation — shows
+	// up at testbed-sized datasets.
+	EPCBudget int64
 	// CounterReplicas sizes the trusted counter protection group
 	// (0 = 3; only used in stabilization mode).
 	CounterReplicas int
@@ -197,6 +202,7 @@ func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
 		DisableGroupCommit: c.opts.DisableGroupCommit,
 		LockShards:         c.opts.LockShards,
 		BlockCacheBytes:    c.opts.BlockCacheBytes,
+		EPCBudget:          c.opts.EPCBudget,
 	}, nil
 }
 

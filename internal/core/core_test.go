@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"treaty/internal/shardmap"
 	"treaty/internal/simnet"
 )
 
@@ -194,17 +195,42 @@ func TestRuntimeChargesInSconeModes(t *testing.T) {
 }
 
 func TestRouterCoversAllNodes(t *testing.T) {
-	r := RouterFor([]string{"a", "b", "c"})
+	// Shard-map-driven assignment: the uniform boot map spreads keys
+	// over every member, routes each key to exactly one owner, and an
+	// epoch flip changes routing only for the migrated slots.
+	members := []shardmap.Member{{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}, {ID: 2, Addr: "c"}}
+	m := shardmap.Uniform(members)
 	seen := map[string]bool{}
 	for i := 0; i < 100; i++ {
-		seen[r([]byte(fmt.Sprintf("key-%d", i)))] = true
+		k := []byte(fmt.Sprintf("key-%d", i))
+		owner := m.Owner(k)
+		if owner == "" {
+			t.Fatalf("key %s has no owner", k)
+		}
+		if m.Owner(k) != owner {
+			t.Fatal("router must be deterministic")
+		}
+		seen[owner] = true
 	}
 	if len(seen) != 3 {
 		t.Errorf("router used %d nodes, want 3", len(seen))
 	}
-	// Deterministic.
-	if r([]byte("stable-key")) != r([]byte("stable-key")) {
-		t.Error("router must be deterministic")
+
+	// Successor epoch: only keys in the migrated slot change owners.
+	next := m.Clone()
+	next.Epoch++
+	const moved = 5
+	next.Slots[moved] = (m.SlotOwner(moved) + 1) % 3
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("epoch-key-%d", i))
+		before, after := m.Owner(k), next.Owner(k)
+		if shardmap.SlotOf(k) == moved {
+			if before == after {
+				t.Fatalf("key %s in migrated slot kept owner %s", k, before)
+			}
+		} else if before != after {
+			t.Fatalf("key %s outside migrated slot moved %s -> %s", k, before, after)
+		}
 	}
 }
 

@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"treaty/internal/attest"
@@ -19,6 +19,7 @@ import (
 	"treaty/internal/mempool"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 	"treaty/internal/simnet"
 	"treaty/internal/twopc"
 	"treaty/internal/txn"
@@ -82,6 +83,9 @@ type NodeConfig struct {
 	// BlockCacheBytes sizes the engine's authenticated block cache
 	// (0 = engine default, negative disables — the cache ablation).
 	BlockCacheBytes int64
+	// EPCBudget overrides the modelled enclave page cache size in bytes
+	// (0 = the SGXv1 default).
+	EPCBudget int64
 }
 
 // Node is one running Treaty node (Figure 1): the trusted components —
@@ -104,16 +108,21 @@ type Node struct {
 	ctrEP   *erpc.Endpoint
 	ctrPoll *erpc.Poller
 	cluster *attest.ClusterConfig
-	router  twopc.Router
-	clients *clientSessions
-	reg     *obs.Registry
+	// shard holds the node's verified view of the attested shard map;
+	// shardMin is the highest epoch this node has ever verified — the
+	// rollback floor a replayed older map is checked against.
+	shard    *shardmap.Holder
+	shardKey seal.Key
+	shardMin atomic.Uint64
+	clients  *clientSessions
+	reg      *obs.Registry
 }
 
 // StartNode boots a node: launch the enclave, attest to the CAS, receive
 // the cluster configuration, open (or recover) the storage engine, and
 // start serving.
 func StartNode(cfg NodeConfig) (*Node, error) {
-	rtCfg := enclave.RuntimeConfig{Mode: cfg.Mode.EnclaveMode()}
+	rtCfg := enclave.RuntimeConfig{Mode: cfg.Mode.EnclaveMode(), EPCBudget: cfg.EPCBudget}
 	encl, err := cfg.Platform.Launch(enclaveIdentity, rtCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: launching enclave: %w", err)
@@ -144,6 +153,20 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("core: opening provisioned config: %w", err)
 	}
 	n.cluster = clusterCfg
+
+	// Shard map: fetch the CAS-signed routing epoch and verify it against
+	// the trusted counter before serving anything. A node that cannot
+	// establish a verified view must not boot — it would route blind.
+	n.shardKey = shardmap.KeyFor(clusterCfg.NetworkKey)
+	bootMap := cfg.CAS.ShardMap()
+	if err := bootMap.Verify(n.shardKey, cfg.CAS.ShardMapStable()); err != nil {
+		return nil, fmt.Errorf("core: boot shard map rejected: %w", err)
+	}
+	n.shard = shardmap.NewHolder(bootMap)
+	n.shardMin.Store(bootMap.Epoch)
+	n.reg.GaugeFunc("shardmap.epoch", func() int64 {
+		return int64(n.shard.View().Epoch)
+	})
 
 	// Memory allocator and userland scheduler.
 	n.pool = mempool.New(n.rt, 8)
@@ -213,6 +236,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Endpoint:    n.ep,
 		Scheduler:   n.sched,
 		IdleTimeout: cfg.IdleTimeout,
+		NodeID:      cfg.ID,
+		Shard:       n.shard,
+		Refresh:     n.RefreshShardMap,
 		Metrics:     n.reg,
 	})
 	clogCtr := counters("CLOG-000001")
@@ -237,12 +263,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.reg.Counter("storage.clog.torn_dropped").Inc()
 	}
 	n.clog = clog
-	n.router = RouterFor(clusterCfg.Nodes)
 	n.coord = twopc.NewCoordinator(twopc.CoordinatorConfig{
 		NodeID:    cfg.ID,
 		Endpoint:  n.ep,
 		Clog:      clog,
-		Router:    n.router,
+		Router:    n.shard,
+		Refresh:   n.RefreshShardMap,
 		Recovered: recovered,
 		Timeout:   cfg.TxnTimeout,
 		Metrics:   n.reg,
@@ -394,14 +420,72 @@ func randomID() (uint64, error) {
 	return binary.LittleEndian.Uint64(b[:]) >> 1, nil
 }
 
-// RouterFor builds the cluster's key router: FNV hash over the node list
-// (the shard map distributed by the CAS).
-func RouterFor(nodes []string) twopc.Router {
-	return func(key []byte) string {
-		h := fnv.New32a()
-		h.Write(key)
-		return nodes[h.Sum32()%uint32(len(nodes))]
+// RefreshShardMap refetches the CAS-signed shard map and installs it if
+// it verifies and advances the node's view. Called after wrong-epoch
+// rejections (both directions) and after a migration flips the epoch.
+func (n *Node) RefreshShardMap() {
+	m := n.cfg.CAS.ShardMap()
+	if m == nil {
+		return
 	}
+	if err := n.ApplyShardMap(m); err != nil {
+		n.reg.Counter("shardmap.refresh_rejected").Inc()
+	}
+}
+
+// ApplyShardMap verifies a presented shard map — signature, counter
+// binding, and the node's own rollback floor — and installs it if it is
+// at least as new as the current view. A replayed older map (even one
+// carrying a genuine CAS signature) fails the floor check and fires
+// shardmap.stale_epoch_rejected.
+func (n *Node) ApplyShardMap(m *shardmap.Map) error {
+	floor := n.shardMin.Load()
+	if ctr := n.cfg.CAS.ShardMapStable(); ctr > floor {
+		// The trusted counter has advanced past our floor: adopt the
+		// tighter bound (rollback detection against long-offline nodes).
+		floor = ctr
+	}
+	if err := m.Verify(n.shardKey, floor); err != nil {
+		if errors.Is(err, shardmap.ErrStaleEpoch) {
+			n.reg.Counter("shardmap.stale_epoch_rejected").Inc()
+		}
+		return err
+	}
+	for {
+		cur := n.shardMin.Load()
+		if m.Epoch <= cur || n.shardMin.CompareAndSwap(cur, m.Epoch) {
+			break
+		}
+	}
+	if cur := n.shard.View(); cur == nil || m.Epoch > cur.Epoch {
+		n.shard.Store(m.Clone())
+	}
+	return nil
+}
+
+// Shard exposes the node's shard-map holder (routing view).
+func (n *Node) Shard() *shardmap.Holder { return n.shard }
+
+// ShardEpoch reports the node's current shard-map epoch.
+func (n *Node) ShardEpoch() uint64 { return n.shard.View().Epoch }
+
+// AddrOfNode resolves a member id to its RPC address through the shard
+// map's membership table. Resolution is by member ID, never by position
+// in the boot-time node list: after cluster growth a node's provisioned
+// list may be shorter than the membership, and positional indexing
+// would misresolve (or drop) coordinators.
+func (n *Node) AddrOfNode(id uint64) string {
+	if v := n.shard.View(); v != nil {
+		if a, ok := v.Addr(id); ok {
+			return a
+		}
+	}
+	// Membership miss: fall back to the provisioned boot list only for
+	// ids it actually covers.
+	if int(id) < len(n.cluster.Nodes) {
+		return n.cluster.Nodes[id]
+	}
+	return ""
 }
 
 // Begin starts a distributed transaction coordinated by this node.
@@ -414,13 +498,7 @@ func (n *Node) Recover() error {
 	if err := n.coord.RecoverPending(nil); err != nil {
 		return err
 	}
-	addrOf := func(nodeID uint64) string {
-		if int(nodeID) < len(n.cluster.Nodes) {
-			return n.cluster.Nodes[nodeID]
-		}
-		return ""
-	}
-	return n.part.ResolveRecovered(addrOf, 20, nil)
+	return n.part.ResolveRecovered(n.AddrOfNode, 20, nil)
 }
 
 // Stop shuts the node down cleanly.

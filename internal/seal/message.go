@@ -53,9 +53,16 @@ type MsgMetadata struct {
 	ValueLen uint32
 	// Seq is a channel sequence number for freshness within a session.
 	Seq uint64
+	// Epoch stamps the shard-map epoch the sender routed under; a
+	// participant whose current epoch differs rejects the operation with
+	// a retriable "wrong epoch" error so the sender refetches the map.
+	// Zero means unversioned (legacy frames and epoch-free protocols);
+	// the field occupies previously-reserved metadata bytes, so the wire
+	// format is unchanged and old frames decode with Epoch == 0.
+	Epoch uint64
 }
 
-const metaEncodedLen = 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 8 // 52 B used, rest reserved
+const metaEncodedLen = 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 8 + 8 // 60 B used, rest reserved
 
 // encode serializes m into a MetadataSize-byte block (reserved bytes zero).
 func (m *MsgMetadata) encode(dst []byte) {
@@ -69,6 +76,7 @@ func (m *MsgMetadata) encode(dst []byte) {
 	binary.LittleEndian.PutUint32(dst[36:], m.KeyLen)
 	binary.LittleEndian.PutUint32(dst[40:], m.ValueLen)
 	binary.LittleEndian.PutUint64(dst[44:], m.Seq)
+	binary.LittleEndian.PutUint64(dst[52:], m.Epoch)
 	for i := metaEncodedLen; i < MetadataSize; i++ {
 		dst[i] = 0
 	}
@@ -88,6 +96,7 @@ func (m *MsgMetadata) decode(src []byte) error {
 	m.KeyLen = binary.LittleEndian.Uint32(src[36:])
 	m.ValueLen = binary.LittleEndian.Uint32(src[40:])
 	m.Seq = binary.LittleEndian.Uint64(src[44:])
+	m.Epoch = binary.LittleEndian.Uint64(src[52:])
 	return nil
 }
 

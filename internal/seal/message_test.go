@@ -20,7 +20,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	mc := mustCodec(t)
 	md := MsgMetadata{
 		NodeID: 7, TxID: 42, OpID: 3, OpType: 9, Flags: 1,
-		KeyLen: 4, ValueLen: 8, Seq: 1234,
+		KeyLen: 4, ValueLen: 8, Seq: 1234, Epoch: 3,
 	}
 	data := []byte("key1value999")
 	wire := mc.SealMessage(&md, data)
@@ -103,6 +103,7 @@ func TestMetadataEncodeDecodeAllFields(t *testing.T) {
 		NodeID: ^uint64(0), TxID: 1<<63 + 5, OpID: 77,
 		OpType: ^uint32(0), Flags: 0xDEADBEEF,
 		DataLen: 123, KeyLen: 45, ValueLen: 78, Seq: 999,
+		Epoch: 1<<40 + 6,
 	}
 	buf := make([]byte, MetadataSize)
 	in.encode(buf)

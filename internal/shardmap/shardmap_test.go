@@ -1,0 +1,228 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+
+	"treaty/internal/seal"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: uint64(i), Addr: fmt.Sprintf("node-%d", i)}
+	}
+	return ms
+}
+
+func testKey(t *testing.T) seal.Key {
+	t.Helper()
+	k, err := seal.NewRandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return KeyFor(k)
+}
+
+// Every key routes to exactly one owner at every epoch: the owning
+// member is unique by construction (one Slots entry per slot), and the
+// address resolution must never come back empty for a verified map.
+func TestEveryKeyRoutesToExactlyOneOwner(t *testing.T) {
+	key := testKey(t)
+	m := Uniform(testMembers(5))
+	m.Sign(key)
+	if err := m.Verify(key, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		owner := m.Owner(k)
+		if owner == "" {
+			t.Fatalf("key %q routed to empty owner", k)
+		}
+		// Deterministic and single-valued.
+		if again := m.Owner(k); again != owner {
+			t.Fatalf("key %q routed to %q then %q", k, owner, again)
+		}
+		// The owner must be the member owning the key's slot — there is
+		// no second route.
+		if id := m.OwnerID(k); m.Slots[SlotOf(k)] != id {
+			t.Fatalf("key %q: OwnerID %d != slot owner %d", k, id, m.Slots[SlotOf(k)])
+		}
+	}
+}
+
+// The uniform map spreads slots across every member.
+func TestUniformCoversAllMembers(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		m := Uniform(testMembers(n))
+		seen := map[uint64]bool{}
+		for _, owner := range m.Slots {
+			seen[owner] = true
+		}
+		if len(seen) != n {
+			t.Errorf("n=%d: uniform map uses %d members", n, len(seen))
+		}
+	}
+}
+
+// Epoch N and N+1 differ only in the migrated slots.
+func TestEpochSuccessorDiffersOnlyInMigratedSlots(t *testing.T) {
+	key := testKey(t)
+	prev := Uniform(testMembers(3))
+	prev.Sign(key)
+	migrated := map[int]bool{7: true, 13: true}
+	next := prev.Clone()
+	next.Epoch++
+	next.Counter = next.Epoch
+	for s := range migrated {
+		next.Slots[s] = 2 // all to member 2
+	}
+	next.Sign(key)
+	if err := next.Verify(key, prev.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < NumSlots; s++ {
+		if migrated[s] {
+			continue
+		}
+		if prev.Slots[s] != next.Slots[s] {
+			t.Fatalf("slot %d changed across epochs without migration: %d -> %d",
+				s, prev.Slots[s], next.Slots[s])
+		}
+	}
+	// And keys in unmigrated slots keep their owner.
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("stable-%d", i))
+		if migrated[SlotOf(k)] {
+			continue
+		}
+		if prev.Owner(k) != next.Owner(k) {
+			t.Fatalf("key %q moved without its slot migrating", k)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	key := testKey(t)
+	m := Uniform(testMembers(4))
+	m.Epoch, m.Counter = 9, 9
+	m.Sign(key)
+	got, err := DecodeMap(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Counter != m.Counter || len(got.Members) != 4 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i, mem := range got.Members {
+		if mem != m.Members[i] {
+			t.Fatalf("member %d mismatch: %v vs %v", i, mem, m.Members[i])
+		}
+	}
+	if got.Slots != m.Slots || got.Sig != m.Sig {
+		t.Fatal("slots or signature did not round trip")
+	}
+	if err := got.Verify(key, 9); err != nil {
+		t.Fatalf("decoded map failed verification: %v", err)
+	}
+}
+
+// A replayed older epoch is rejected by the counter-binding floor even
+// though its signature is genuine — the rollback-detection property.
+func TestStaleEpochRejected(t *testing.T) {
+	key := testKey(t)
+	old := Uniform(testMembers(3))
+	old.Sign(key)
+	if err := old.Verify(key, old.Epoch+1); err == nil {
+		t.Fatal("replayed old epoch passed verification")
+	} else if !isStale(err) {
+		t.Fatalf("want ErrStaleEpoch, got %v", err)
+	}
+	// An epoch whose counter binding was never stabilized (counter !=
+	// epoch) is also a rollback artifact.
+	forked := old.Clone()
+	forked.Epoch = 5 // counter still 1
+	forked.Sign(key)
+	if err := forked.Verify(key, 0); err == nil || !isStale(err) {
+		t.Fatalf("counter/epoch mismatch accepted: %v", err)
+	}
+}
+
+func isStale(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrStaleEpoch {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestTamperedMapRejected(t *testing.T) {
+	key := testKey(t)
+	m := Uniform(testMembers(3))
+	m.Sign(key)
+	tampered := m.Clone()
+	tampered.Slots[0] = 1 // redirect a slot without re-signing
+	if err := tampered.Verify(key, 0); err != ErrBadSignature {
+		t.Fatalf("tampered map: want ErrBadSignature, got %v", err)
+	}
+	// Wrong key (an unattested party cannot mint maps).
+	other := testKey(t)
+	if err := m.Verify(other, 0); err != ErrBadSignature {
+		t.Fatalf("wrong key: want ErrBadSignature, got %v", err)
+	}
+}
+
+// A verified map never routes to an unresolvable owner: slots owned by
+// non-members fail verification.
+func TestVerifyRejectsNonMemberOwner(t *testing.T) {
+	key := testKey(t)
+	m := Uniform(testMembers(3))
+	m.Slots[11] = 99
+	m.Sign(key)
+	if err := m.Verify(key, 0); err == nil {
+		t.Fatal("slot owned by non-member passed verification")
+	}
+}
+
+func TestAddrIsIDKeyedNotPositional(t *testing.T) {
+	// Sparse, non-dense IDs: positional indexing would resolve these
+	// wrongly (or not at all).
+	m := &Map{
+		Epoch: 1, Counter: 1,
+		Members: []Member{{ID: 7, Addr: "node-7"}, {ID: 3, Addr: "node-3"}},
+	}
+	if a, ok := m.Addr(3); !ok || a != "node-3" {
+		t.Fatalf("Addr(3) = %q, %v", a, ok)
+	}
+	if a, ok := m.Addr(7); !ok || a != "node-7" {
+		t.Fatalf("Addr(7) = %q, %v", a, ok)
+	}
+	if _, ok := m.Addr(0); ok {
+		t.Fatal("Addr(0) resolved for a non-member")
+	}
+}
+
+func TestHolderSwap(t *testing.T) {
+	h := NewHolder(nil)
+	if h.View() != nil {
+		t.Fatal("empty holder returned a map")
+	}
+	m1 := Uniform(testMembers(3))
+	h.Store(m1)
+	if h.View() != m1 {
+		t.Fatal("holder did not return stored map")
+	}
+	m2 := m1.Clone()
+	m2.Epoch = 2
+	h.Store(m2)
+	if h.View().Epoch != 2 {
+		t.Fatal("holder did not swap")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"treaty/internal/lsm"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 )
 
 // Errors returned by the coordinator.
@@ -27,10 +29,48 @@ var (
 	// stabilize a decision within the deadline; the transaction aborts
 	// instead of spinning its fiber forever on a dead counter service.
 	ErrStabilizeTimeout = errors.New("twopc: decision stabilization timed out")
+	// ErrNoShardMap indicates the coordinator has no routing view yet
+	// (boot wiring incomplete).
+	ErrNoShardMap = errors.New("twopc: no shard map view")
 )
 
-// Router maps a user key to the RPC address of the node owning its shard.
-type Router func(key []byte) string
+// Router supplies the coordinator's routing view: the current epoch of
+// the attested shard map. A transaction pins one view at Begin and
+// routes every operation through it, stamping the view's epoch into the
+// message metadata — the whole transaction executes at a single epoch,
+// and participants whose epoch differs reject with ErrWrongEpoch.
+//
+// shardmap.Holder implements this directly.
+type Router interface {
+	// View returns the current shard map (nil only before boot wiring).
+	View() *shardmap.Map
+}
+
+// wrongEpochMsg is the participant's retriable rejection of an
+// operation carrying a different shard-map epoch than its own view (or
+// routed to a node that does not own the key's slot). Coordinators and
+// clients react by refetching the map and retrying the transaction.
+const wrongEpochMsg = "twopc: wrong epoch"
+
+// slotFencedMsg rejects new operations on a slot frozen for migration;
+// like wrong-epoch it is retriable — the fence lifts when the slot's
+// epoch flip completes (or the migration aborts).
+const slotFencedMsg = "twopc: slot fenced for migration"
+
+// IsWrongEpoch reports whether an operation failed because the
+// receiving participant's shard-map epoch differed from the sender's
+// (the error crosses the wire as an erpc remote error, so the check is
+// by message). Callers should refresh their shard map and retry the
+// transaction.
+func IsWrongEpoch(err error) bool {
+	return err != nil && strings.Contains(err.Error(), wrongEpochMsg)
+}
+
+// IsSlotFenced reports whether an operation was rejected by a
+// migration fence (retriable after the migration completes).
+func IsSlotFenced(err error) bool {
+	return err != nil && strings.Contains(err.Error(), slotFencedMsg)
+}
 
 // Coordinator drives distributed transactions from one node (the TxC).
 // Every node runs one; clients pick any node as their coordinator.
@@ -39,6 +79,7 @@ type Coordinator struct {
 	ep          *erpc.Endpoint
 	clog        *Clog
 	router      Router
+	refresh     func()
 	timeout     time.Duration
 	stabTimeout time.Duration
 
@@ -113,8 +154,12 @@ type CoordinatorConfig struct {
 	Endpoint *erpc.Endpoint
 	// Clog is the coordinator log.
 	Clog *Clog
-	// Router maps keys to owner addresses.
+	// Router supplies the shard-map view that maps keys to owners.
 	Router Router
+	// Refresh, when non-nil, is invoked after a wrong-epoch rejection so
+	// the node refetches the shard map from the CAS before the client
+	// retries (may be nil; tests and single-node rigs skip it).
+	Refresh func()
 	// Timeout bounds each remote operation (0 = 2s).
 	Timeout time.Duration
 	// StabilizeTimeout bounds the wait for a decision's rollback
@@ -136,6 +181,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		ep:           cfg.Endpoint,
 		clog:         cfg.Clog,
 		router:       cfg.Router,
+		refresh:      cfg.Refresh,
 		timeout:      cfg.Timeout,
 		decisions:    make(map[lsm.TxID]bool),
 		prepared:     make(map[lsm.TxID][]string),
@@ -210,9 +256,15 @@ func (c *Coordinator) handleStatus(req *erpc.Request) {
 // behalf of a client. Not safe for concurrent use (one client, one
 // transaction, one fiber — "Each RPC is strictly owned by one thread").
 type DistTxn struct {
-	c     *Coordinator
-	id    lsm.TxID
-	seq   uint64
+	c    *Coordinator
+	id   lsm.TxID
+	seq  uint64
+	// view is the shard map pinned at Begin: the whole transaction
+	// routes and epoch-stamps through one consistent view, so a
+	// concurrent epoch flip surfaces as a retriable wrong-epoch
+	// rejection rather than a torn route. Nil only for recovery
+	// replays, which broadcast control messages and never route keys.
+	view  *shardmap.Map
 	parts map[string]bool
 	yield func()
 	done  bool
@@ -258,13 +310,48 @@ func (c *Coordinator) Begin(yield func()) *DistTxn {
 	c.met.begun.Inc()
 	c.met.inflight.Add(1)
 	id := globalTxID(c.nodeID, seq)
+	var view *shardmap.Map
+	if c.router != nil {
+		view = c.router.View()
+	}
 	return &DistTxn{
 		c:     c,
 		id:    id,
 		seq:   seq,
+		view:  view,
 		parts: make(map[string]bool),
 		yield: yield,
 		trace: c.tracer.Begin(txTraceID(id), obs.StageBegin),
+	}
+}
+
+// Epoch reports the shard-map epoch the transaction is pinned to
+// (0 when no view is bound).
+func (t *DistTxn) Epoch() uint64 {
+	if t.view == nil {
+		return 0
+	}
+	return t.view.Epoch
+}
+
+// ownerAddr resolves key's owner under the pinned view.
+func (t *DistTxn) ownerAddr(key []byte) (string, error) {
+	if t.view == nil {
+		return "", ErrNoShardMap
+	}
+	addr := t.view.Owner(key)
+	if addr == "" {
+		return "", fmt.Errorf("twopc: slot %d unowned at epoch %d",
+			shardmap.SlotOf(key), t.view.Epoch)
+	}
+	return addr, nil
+}
+
+// noteWrongEpoch triggers a shard-map refresh after a wrong-epoch
+// rejection, so the node's view catches up before the client retries.
+func (c *Coordinator) noteWrongEpoch(err error) {
+	if IsWrongEpoch(err) && c.refresh != nil {
+		c.refresh()
 	}
 }
 
@@ -321,6 +408,7 @@ func (t *DistTxn) call(addr string, reqType uint8, key, value []byte) ([]byte, e
 		OpType:   uint32(reqType),
 		KeyLen:   uint32(len(key)),
 		ValueLen: uint32(len(value)),
+		Epoch:    t.Epoch(),
 	}
 	payload := make([]byte, 0, len(key)+len(value))
 	payload = append(payload, key...)
@@ -335,8 +423,13 @@ func (t *DistTxn) Get(key []byte) ([]byte, bool, error) {
 	if t.done {
 		return nil, false, ErrTxnFinished
 	}
-	resp, err := t.call(t.c.router(key), ReqTxnGet, key, nil)
+	addr, err := t.ownerAddr(key)
 	if err != nil {
+		return nil, false, err
+	}
+	resp, err := t.call(addr, ReqTxnGet, key, nil)
+	if err != nil {
+		t.c.noteWrongEpoch(err)
 		return nil, false, err
 	}
 	if len(resp) == 0 || resp[0] == getNotFound {
@@ -350,7 +443,12 @@ func (t *DistTxn) Put(key, value []byte) error {
 	if t.done {
 		return ErrTxnFinished
 	}
-	_, err := t.call(t.c.router(key), ReqTxnPut, key, value)
+	addr, err := t.ownerAddr(key)
+	if err != nil {
+		return err
+	}
+	_, err = t.call(addr, ReqTxnPut, key, value)
+	t.c.noteWrongEpoch(err)
 	return err
 }
 
@@ -359,7 +457,12 @@ func (t *DistTxn) Delete(key []byte) error {
 	if t.done {
 		return ErrTxnFinished
 	}
-	_, err := t.call(t.c.router(key), ReqTxnDelete, key, nil)
+	addr, err := t.ownerAddr(key)
+	if err != nil {
+		return err
+	}
+	_, err = t.call(addr, ReqTxnDelete, key, nil)
+	t.c.noteWrongEpoch(err)
 	return err
 }
 

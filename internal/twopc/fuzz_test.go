@@ -9,6 +9,7 @@ import (
 	"treaty/internal/fibers"
 	"treaty/internal/lsm"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 	"treaty/internal/txn"
 )
 
@@ -87,7 +88,7 @@ func FuzzProtocolMessages(f *testing.F) {
 	}
 	coord := NewCoordinator(CoordinatorConfig{
 		NodeID: 1, Endpoint: ep, Clog: clog,
-		Router:  func([]byte) string { return addr },
+		Router:  shardmap.NewHolder(shardmap.Uniform([]shardmap.Member{{ID: 1, Addr: addr}})),
 		Timeout: 50 * time.Millisecond, Recovered: recovered,
 	})
 	_ = coord
@@ -122,6 +123,12 @@ func FuzzProtocolMessages(f *testing.F) {
 	lie := md
 	lie.KeyLen, lie.ValueLen = 1000, 1000
 	f.Add(fuzzFrame(ReqTxnPut, 8, lie, []byte("tiny")))
+	// Slot-ingest chunks: a well-formed one, a lying entry count, junk.
+	ing := prep
+	ing.OpID = 12
+	f.Add(fuzzFrame(ReqSlotIngest, 12, ing, encodeSlotChunk(3, true, []slotEntry{{key: []byte("k"), value: []byte("v")}})))
+	f.Add(fuzzFrame(ReqSlotIngest, 13, ing, []byte{1, 3, 0, 255, 255, 255, 255}))
+	f.Add(fuzzFrame(ReqSlotIngest, 14, ing, []byte("x")))
 	// Unknown request type, short status query, raw junk, truncations.
 	f.Add(fuzzFrame(0xEE, 9, md, []byte("junk")))
 	f.Add(fuzzFrame(ReqTxStatus, 10, prep, []byte("short")))

@@ -13,6 +13,7 @@ import (
 	"treaty/internal/lsm"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 	"treaty/internal/txn"
 )
 
@@ -30,13 +31,28 @@ type Participant struct {
 	ep    *erpc.Endpoint
 	sched *fibers.Scheduler
 
+	// nodeID + shard gate operations by route: a request must carry the
+	// participant's current shard-map epoch and address a slot this node
+	// owns, or it is rejected retriably. Shard may be nil (single-node
+	// rigs and unit tests skip routing enforcement).
+	nodeID  uint64
+	shard   *shardmap.Holder
+	refresh func()
+
 	mu     sync.Mutex
 	active map[lsm.TxID]*activeTxn
+	// fenced slots refuse new operations while their key range streams to
+	// the migration destination (value: fence generation, informational).
+	fenced map[int]struct{}
 	// reclaimed tombstones janitor-aborted transaction ids: a late
 	// operation for a reclaimed id must NOT silently start a fresh local
 	// transaction (a later prepare would commit a partial write set) —
 	// it errors, and the eventual prepare votes no.
 	reclaimed map[lsm.TxID]time.Time
+
+	// migOp numbers outgoing slot-migration RPCs (random per-boot base,
+	// like the coordinator's op ids, to dodge replay-cache collisions).
+	migOp atomic.Uint64
 
 	// idleTimeout reclaims transactions abandoned by dead coordinators.
 	idleTimeout time.Duration
@@ -59,6 +75,9 @@ type partMetrics struct {
 	restored      *obs.Counter // prepared transactions restored from WAL
 	resolvedOK    *obs.Counter // recovery resolutions: commit
 	resolvedAbort *obs.Counter // recovery resolutions: abort
+	staleEpoch    *obs.Counter // operations rejected for a stale/foreign epoch
+	fenceRejects  *obs.Counter // operations rejected by a migration fence
+	ingestChunks  *obs.Counter // slot-migration chunks applied
 }
 
 func newPartMetrics(m *obs.Registry) partMetrics {
@@ -72,6 +91,9 @@ func newPartMetrics(m *obs.Registry) partMetrics {
 		restored:      m.Counter("twopc.part.restored"),
 		resolvedOK:    m.Counter("twopc.part.resolved_commit"),
 		resolvedAbort: m.Counter("twopc.part.resolved_abort"),
+		staleEpoch:    m.Counter("shardmap.stale_epoch_rejected"),
+		fenceRejects:  m.Counter("shardmap.fence_rejected"),
+		ingestChunks:  m.Counter("shardmap.ingest_chunks"),
 	}
 }
 
@@ -80,6 +102,10 @@ type activeTxn struct {
 	mu    sync.Mutex
 	local *txn.Txn
 	id    lsm.TxID
+	// slots records the hash slots this transaction has touched here
+	// (guarded by the participant's mu, read by SlotActive so migration
+	// drains wait for in-flight transactions on the migrating slot).
+	slots map[int]struct{}
 	// prepared is atomic: handlers flip it under at.mu, but the janitor
 	// and recovery scans read it under p.mu only — taking at.mu there
 	// would invert the at.mu → p.mu order the handlers use via drop().
@@ -95,6 +121,16 @@ type ParticipantConfig struct {
 	Endpoint *erpc.Endpoint
 	// Scheduler runs request handlers as fibers.
 	Scheduler *fibers.Scheduler
+	// NodeID is this node's member id in the shard map.
+	NodeID uint64
+	// Shard, when non-nil, enables route enforcement: operations must
+	// carry the current shard-map epoch and address a slot this node
+	// owns. Nil disables enforcement (unit rigs without a shard map).
+	Shard *shardmap.Holder
+	// Refresh, when non-nil, refetches the shard map once before
+	// rejecting an operation whose epoch is AHEAD of this node's view
+	// (the sender may have seen a newer map first).
+	Refresh func()
 	// IdleTimeout aborts transactions with no activity (0 = 30s).
 	IdleTimeout time.Duration
 	// Metrics, when non-nil, exports participant counters under
@@ -108,7 +144,11 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 		mgr:         cfg.Manager,
 		ep:          cfg.Endpoint,
 		sched:       cfg.Scheduler,
+		nodeID:      cfg.NodeID,
+		shard:       cfg.Shard,
+		refresh:     cfg.Refresh,
 		active:      make(map[lsm.TxID]*activeTxn),
+		fenced:      make(map[int]struct{}),
 		reclaimed:   make(map[lsm.TxID]time.Time),
 		idleTimeout: cfg.IdleTimeout,
 		janitorStop: make(chan struct{}),
@@ -116,6 +156,10 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 	}
 	if p.idleTimeout == 0 {
 		p.idleTimeout = 30 * time.Second
+	}
+	var opSeed [4]byte
+	if _, err := rand.Read(opSeed[:]); err == nil {
+		p.migOp.Store(uint64(binary.LittleEndian.Uint32(opSeed[:]))<<16 | 1<<48)
 	}
 	cfg.Metrics.GaugeFunc("twopc.part.active", func() int64 {
 		return int64(p.ActiveCount())
@@ -126,6 +170,7 @@ func NewParticipant(cfg ParticipantConfig) *Participant {
 	p.ep.Register(ReqPrepare, p.onFiber(p.handlePrepare))
 	p.ep.Register(ReqCommit, p.onFiber(p.handleCommit))
 	p.ep.Register(ReqAbort, p.onFiber(p.handleAbort))
+	p.ep.Register(ReqSlotIngest, p.onFiber(p.handleSlotIngest))
 	p.janitorWG.Add(1)
 	go p.janitor()
 	return p
@@ -217,10 +262,103 @@ func validSizes(req *erpc.Request) bool {
 	return uint64(req.Meta.KeyLen)+uint64(req.Meta.ValueLen) <= uint64(len(req.Payload))
 }
 
+// checkRoute gates a keyed operation by the participant's routing view:
+// the key's slot must not be fenced for migration, the request must
+// carry this node's current shard-map epoch, and this node must own the
+// slot. Rejections are retriable — the sender refetches the shard map
+// and retries. Epoch 0 marks unversioned senders (rigs without a shard
+// map) and passes the epoch check. Prepare/commit/abort are NOT gated:
+// in-flight transactions drain across an epoch flip; only new keyed
+// operations are redirected.
+func (p *Participant) checkRoute(key []byte, md seal.MsgMetadata) (int, string) {
+	slot := shardmap.SlotOf(key)
+	if p.shard == nil {
+		return slot, ""
+	}
+	view := p.shard.View()
+	if view == nil {
+		return slot, ""
+	}
+	p.mu.Lock()
+	_, isFenced := p.fenced[slot]
+	p.mu.Unlock()
+	if isFenced {
+		p.met.fenceRejects.Inc()
+		return slot, fmt.Sprintf("%s: slot %d", slotFencedMsg, slot)
+	}
+	if md.Epoch != 0 && md.Epoch != view.Epoch {
+		// A sender ahead of this node may have seen the new map first:
+		// refresh once and re-check before rejecting.
+		if md.Epoch > view.Epoch && p.refresh != nil {
+			p.refresh()
+			view = p.shard.View()
+		}
+		if md.Epoch != view.Epoch {
+			p.met.staleEpoch.Inc()
+			return slot, fmt.Sprintf("%s: op at epoch %d, node at %d",
+				wrongEpochMsg, md.Epoch, view.Epoch)
+		}
+	}
+	if owner := view.SlotOwner(slot); owner != p.nodeID {
+		p.met.staleEpoch.Inc()
+		return slot, fmt.Sprintf("%s: slot %d owned by node %d, not node %d",
+			wrongEpochMsg, slot, owner, p.nodeID)
+	}
+	return slot, ""
+}
+
+// markSlot records that at touched slot on this node (drain accounting
+// for migrations).
+func (p *Participant) markSlot(at *activeTxn, slot int) {
+	p.mu.Lock()
+	if at.slots == nil {
+		at.slots = make(map[int]struct{}, 2)
+	}
+	at.slots[slot] = struct{}{}
+	p.mu.Unlock()
+}
+
+// FreezeSlot fences a slot: new keyed operations on it are rejected
+// retriably until UnfreezeSlot. Migration fences the source slot before
+// streaming its key range so the streamed snapshot cannot go stale.
+func (p *Participant) FreezeSlot(slot int) {
+	p.mu.Lock()
+	p.fenced[slot] = struct{}{}
+	p.mu.Unlock()
+}
+
+// UnfreezeSlot lifts a migration fence.
+func (p *Participant) UnfreezeSlot(slot int) {
+	p.mu.Lock()
+	delete(p.fenced, slot)
+	p.mu.Unlock()
+}
+
+// SlotActive counts in-flight transactions that have touched slot here.
+// After fencing, migration waits for this to reach zero before reading
+// the slot's snapshot (the drain step).
+func (p *Participant) SlotActive(slot int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, at := range p.active {
+		if _, ok := at.slots[slot]; ok {
+			n++
+		}
+	}
+	return n
+}
+
 // handleGet executes a transactional read.
 func (p *Participant) handleGet(f *fibers.Fiber, req *erpc.Request) {
 	if !validSizes(req) {
 		req.ReplyError("twopc: malformed request sizes")
+		return
+	}
+	key := req.Payload[:req.Meta.KeyLen]
+	slot, reject := p.checkRoute(key, req.Meta)
+	if reject != "" {
+		req.ReplyError(reject)
 		return
 	}
 	at := p.find(txIDOf(req.Meta), f, true)
@@ -228,7 +366,7 @@ func (p *Participant) handleGet(f *fibers.Fiber, req *erpc.Request) {
 		req.ReplyError(errTxnReclaimed)
 		return
 	}
-	key := req.Payload[:req.Meta.KeyLen]
+	p.markSlot(at, slot)
 	at.mu.Lock()
 	at.local.SetYield(f.Yield)
 	v, found, err := at.local.Get(key)
@@ -250,13 +388,19 @@ func (p *Participant) handlePut(f *fibers.Fiber, req *erpc.Request) {
 		req.ReplyError("twopc: malformed request sizes")
 		return
 	}
+	key := req.Payload[:req.Meta.KeyLen]
+	value := req.Payload[req.Meta.KeyLen : req.Meta.KeyLen+req.Meta.ValueLen]
+	slot, reject := p.checkRoute(key, req.Meta)
+	if reject != "" {
+		req.ReplyError(reject)
+		return
+	}
 	at := p.find(txIDOf(req.Meta), f, true)
 	if at == nil {
 		req.ReplyError(errTxnReclaimed)
 		return
 	}
-	key := req.Payload[:req.Meta.KeyLen]
-	value := req.Payload[req.Meta.KeyLen : req.Meta.KeyLen+req.Meta.ValueLen]
+	p.markSlot(at, slot)
 	at.mu.Lock()
 	at.local.SetYield(f.Yield)
 	err := at.local.Put(key, value)
@@ -274,12 +418,18 @@ func (p *Participant) handleDelete(f *fibers.Fiber, req *erpc.Request) {
 		req.ReplyError("twopc: malformed request sizes")
 		return
 	}
+	key := req.Payload[:req.Meta.KeyLen]
+	slot, reject := p.checkRoute(key, req.Meta)
+	if reject != "" {
+		req.ReplyError(reject)
+		return
+	}
 	at := p.find(txIDOf(req.Meta), f, true)
 	if at == nil {
 		req.ReplyError(errTxnReclaimed)
 		return
 	}
-	key := req.Payload[:req.Meta.KeyLen]
+	p.markSlot(at, slot)
 	at.mu.Lock()
 	at.local.SetYield(f.Yield)
 	err := at.local.Delete(key)

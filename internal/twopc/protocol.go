@@ -23,6 +23,9 @@ const (
 	// ReqTxStatus asks a coordinator for a transaction's decision
 	// (participant-driven recovery).
 	ReqTxStatus
+	// ReqSlotIngest streams one chunk of a hash slot's key range from a
+	// migration source to the destination node (online resharding).
+	ReqSlotIngest
 )
 
 // Transaction status codes returned by ReqTxStatus.

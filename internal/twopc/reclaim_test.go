@@ -27,7 +27,7 @@ func TestReclaimedTxnIsTombstoned(t *testing.T) {
 	keyOn := func(addr string) string {
 		for i := 0; ; i++ {
 			k := fmt.Sprintf("tomb-%s-%d", addr, i)
-			if tc.router([]byte(k)) == addr {
+			if tc.owner([]byte(k)) == addr {
 				return k
 			}
 		}
@@ -97,7 +97,7 @@ func TestReclaimedTombstonesArePurged(t *testing.T) {
 	var key string
 	for i := 0; ; i++ {
 		k := fmt.Sprintf("purge-%d", i)
-		if tc.router([]byte(k)) == "node-1" {
+		if tc.owner([]byte(k)) == "node-1" {
 			key = k
 			break
 		}

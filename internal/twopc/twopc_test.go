@@ -3,7 +3,6 @@ package twopc
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"sync/atomic"
 	"testing"
@@ -14,6 +13,7 @@ import (
 	"treaty/internal/lsm"
 	"treaty/internal/obs"
 	"treaty/internal/seal"
+	"treaty/internal/shardmap"
 	"treaty/internal/simnet"
 	"treaty/internal/txn"
 )
@@ -42,7 +42,13 @@ type testCluster struct {
 	nodes  []*testNode
 	key    seal.Key
 	ctrs   *sharedCounters
+	shard  *shardmap.Holder
 	router Router
+}
+
+// owner resolves a key's owning address under the cluster's shard map.
+func (tc *testCluster) owner(k []byte) string {
+	return tc.shard.View().Owner(k)
 }
 
 // sharedCounters is an immediate trusted-counter service shared across
@@ -92,11 +98,12 @@ func newTestCluster(t *testing.T, n int) *testCluster {
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("node-%d", i)
 	}
-	tc.router = func(k []byte) string {
-		h := fnv.New32a()
-		h.Write(k)
-		return addrs[h.Sum32()%uint32(n)]
+	members := make([]shardmap.Member, n)
+	for i := range addrs {
+		members[i] = shardmap.Member{ID: uint64(i), Addr: addrs[i]}
 	}
+	tc.shard = shardmap.NewHolder(shardmap.Uniform(members))
+	tc.router = tc.shard
 	for i := 0; i < n; i++ {
 		tc.nodes = append(tc.nodes, tc.startNode(uint64(i), addrs[i], t.TempDir()))
 	}
@@ -140,6 +147,7 @@ func (tc *testCluster) startNode(id uint64, addr, dir string) *testNode {
 	sched := fibers.New(4, nil)
 	part := NewParticipant(ParticipantConfig{
 		Manager: mgr, Endpoint: ep, Scheduler: sched, IdleTimeout: 5 * time.Second,
+		NodeID: id, Shard: tc.shard,
 		Metrics: reg,
 	})
 	clogCtr := tc.ctrs.factory(addr)("CLOG-000001")
@@ -363,7 +371,7 @@ func TestParticipantCrashBeforePrepareAborts(t *testing.T) {
 	}
 	tc.net.Partition("node-0", "node-2")
 	err := tx.Commit()
-	if tc.router([]byte("anything")) == "" {
+	if tc.owner([]byte("anything")) == "" {
 		t.Fatal("router broken")
 	}
 	// If node-2 held any keys, the commit must abort; otherwise it may
@@ -555,7 +563,7 @@ func TestJanitorReclaimsAbandonedTxns(t *testing.T) {
 	var victim string
 	for i := 0; ; i++ {
 		k := fmt.Sprintf("abandon-%d", i)
-		if tc.router([]byte(k)) == "node-1" {
+		if tc.owner([]byte(k)) == "node-1" {
 			victim = k
 			break
 		}
@@ -790,7 +798,7 @@ func TestDistTxnOutcome(t *testing.T) {
 	victim := ""
 	for i := 0; ; i++ {
 		victim = fmt.Sprintf("oc-remote-%d", i)
-		if tc.router([]byte(victim)) == "node-2" {
+		if tc.owner([]byte(victim)) == "node-2" {
 			break
 		}
 	}
