@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary soak-reshard crashpoint fuzz vet bench-baseline bench-smoke
+.PHONY: build test race test-race chaos soak-metrics soak-disk soak-adversary soak-reshard soak-failover crashpoint fuzz vet bench-baseline bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,16 @@ soak-adversary:
 soak-reshard:
 	$(GO) test -race -v -run TestChaosSoakReshard ./internal/chaos/
 
+# Failover soak: audited bank traffic runs while the primary is killed
+# for good and its attested backup is promoted through the CAS
+# certificate path, with packet loss and delay+duplication on both sides
+# of the takeover, under -race. The soak asserts a promotion actually
+# happened, a rolled-back promotion request was refused mid-takeover,
+# the successor's mirror was non-empty, and the full history stayed
+# serializable across the failover boundary.
+soak-failover:
+	$(GO) test -race -v -run TestChaosSoakFailover ./internal/chaos/
+
 # Coverage-guided fuzzing of every externally-reachable decoder: erpc
 # frames (plaintext + sealed), the replay cache, the counter-service
 # request codec, the full 2PC protocol handler stack, and the shard-map
@@ -63,12 +73,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeReq -fuzztime $(FUZZTIME) ./internal/counter/
 	$(GO) test -run '^$$' -fuzz FuzzProtocolMessages -fuzztime $(FUZZTIME) ./internal/twopc/
 	$(GO) test -run '^$$' -fuzz FuzzShardMapDecode -fuzztime $(FUZZTIME) ./internal/shardmap/
+	$(GO) test -run '^$$' -fuzz FuzzReplStreamDecode -fuzztime $(FUZZTIME) ./internal/repl/
 
 # Crash-point harness: power-cut after every durable write site
 # (WAL/SSTable/MANIFEST/counter/Clog) at all three security levels,
-# reboot each image, and check the recovery invariants.
+# reboot each image, and check the recovery invariants. The repl sweep
+# power-cuts both sides of the replication pipeline and checks that
+# stabilized counters never outrun the backup's synced mirror.
 crashpoint:
-	$(GO) test -v -run TestCrashPoint ./internal/vfs/crashtest/
+	$(GO) test -v -run 'TestCrashPoint|TestReplCrashPoint' ./internal/vfs/crashtest/
 
 vet:
 	$(GO) vet ./...
@@ -81,8 +94,10 @@ bench-baseline:
 	$(GO) run ./cmd/treaty-bench -exp baseline -baseline-out BENCH_baseline.json
 
 # One-iteration benchmark smoke: the read panel must be non-vacuous (it
-# b.Fatals on zero cache hits) and the write-heavy panel must show the
+# b.Fatals on zero cache hits), the write-heavy panel must show the
 # Clog group-commit pipeline actually batching (it b.Fatals when the
-# group-size p95 degrades to per-append forces).
+# group-size p95 degrades to per-append forces), and the replication
+# panel must actually ship groups to a backup (it b.Fatals on zero
+# acked ships or any degrade).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkAblation_BlockCache|BenchmarkAblation_WritePathGroupCommit' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkAblation_BlockCache|BenchmarkAblation_WritePathGroupCommit|BenchmarkAblation_Replication' -benchtime=1x .

@@ -200,6 +200,32 @@ func BenchmarkAblation_WritePathGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_Replication measures the throughput price of
+// per-shard attested backups: the same write-heavy distributed YCSB run
+// at full security with and without commit-group shipping. The run is
+// vacuous unless the replicated arm actually shipped and acked groups,
+// and a degraded stream (any ship_failed) invalidates the overhead
+// number, so both fail the benchmark loudly.
+func BenchmarkAblation_Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunReplicationAblation(bench.DistConfig{Clients: 96, Duration: 3 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ShipAcked == 0 {
+			b.Fatalf("vacuous run: replicated arm acked zero commit groups (shipped=%d)", r.ShipGroups)
+		}
+		if r.ShipFailed > 0 {
+			b.Fatalf("degraded run: %d ship failures latched a stream unpromotable mid-measurement", r.ShipFailed)
+		}
+		b.Log(bench.PrintReplication(r))
+		b.ReportMetric(r.Off.Tps, "tps-repl-off")
+		b.ReportMetric(r.On.Tps, "tps-repl-on")
+		b.ReportMetric(r.Overhead, "overhead")
+		b.ReportMetric(float64(r.ShipAcked), "groups-shipped")
+	}
+}
+
 // BenchmarkAblation_SecurityLevels isolates the storage-engine cost of
 // each security level with no concurrency: one writer, sequential
 // commits.

@@ -180,6 +180,11 @@ type CAS struct {
 	shardKey seal.Key
 	shard    *shardmap.Map
 	shardCtr uint64
+
+	// Replication witness state (promotion.go): per (primary, stream),
+	// the last group sequence replicated before stabilization and the
+	// prefix digest at it.
+	repl map[witnessKey]*StreamWitness
 }
 
 // NewCAS deploys a CAS trusting enclaves with the expected measurement

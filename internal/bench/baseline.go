@@ -15,8 +15,9 @@ import (
 
 // BaselineSchemaVersion identifies the JSON layout; bump on
 // incompatible changes so comparisons fail loudly instead of silently
-// misreading fields. v2 added the scaling panel.
-const BaselineSchemaVersion = 2
+// misreading fields. v2 added the scaling panel; v3 the replicated
+// write-path panel.
+const BaselineSchemaVersion = 3
 
 // BaselinePanel is one measured panel.
 type BaselinePanel struct {
@@ -39,6 +40,11 @@ type Baseline struct {
 	// Scaling is the 3→5→9 node throughput sweep under fixed offered
 	// load; its throughput column must increase down the rows.
 	Scaling BaselinePanel `json:"scaling_read_heavy"`
+	// Fig4Replicated is the write-heavy full-security panel with and
+	// without per-shard attested backups (the replication ablation):
+	// the cost of rollback-resistant failover on top of the stabilized
+	// write path.
+	Fig4Replicated BaselinePanel `json:"fig4_replicated"`
 }
 
 // BaselineConfig tunes the capture.
@@ -106,6 +112,12 @@ func RunBaseline(cfg BaselineConfig) (*Baseline, error) {
 		return nil, err
 	}
 	b.Scaling.Measurements = scaling
+
+	repl, err := RunReplicationAblation(dist)
+	if err != nil {
+		return nil, err
+	}
+	b.Fig4Replicated.Measurements = []Measurement{repl.Off, repl.On}
 	return b, nil
 }
 

@@ -47,6 +47,10 @@ type DistConfig struct {
 	// (0 = engine default, negative disables — the no-cache reference
 	// arm the baseline captures).
 	BlockCacheBytes int64
+	// Replicate assigns every shard slot an attested backup and ships
+	// commit groups to it before the trusted counter stabilizes them
+	// (the replication ablation arm; off in the figure panels).
+	Replicate bool
 }
 
 // withDefaults fills zero fields.
@@ -67,11 +71,12 @@ func (c DistConfig) withDefaults() DistConfig {
 // left at zero: goroutine handoffs on the measurement host already
 // exceed the paper's switch latency, and OS timers cannot model tens of
 // microseconds faithfully.
-func newBenchCluster(mode core.SecurityMode, nodes int, blockCacheBytes int64) (*core.Cluster, error) {
+func newBenchCluster(mode core.SecurityMode, nodes int, blockCacheBytes int64, replicate bool) (*core.Cluster, error) {
 	return core.NewCluster(core.ClusterOptions{
-		Nodes: nodes,
-		Mode:  mode,
-		Link:  simnet.LinkConfig{BandwidthBps: 5 << 30},
+		Nodes:     nodes,
+		Mode:      mode,
+		Replicate: replicate,
+		Link:      simnet.LinkConfig{BandwidthBps: 5 << 30},
 		// Short lock timeout: TPC-C's hot warehouse/district rows rely
 		// on timeouts for deadlock resolution; long timeouts turn
 		// contention into multi-second stalls.
@@ -87,7 +92,7 @@ func RunFig5(cfg DistConfig, readRatio float64) ([]Measurement, error) {
 	cfg = cfg.withDefaults()
 	out := make([]Measurement, 0, 4)
 	for _, mode := range DistVersions() {
-		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes)
+		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes, cfg.Replicate)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +227,7 @@ func RunFig3(cfg DistConfig, warehouses int) ([]Measurement, error) {
 	}
 	out := make([]Measurement, 0, 4)
 	for _, mode := range DistVersions() {
-		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes)
+		c, err := newBenchCluster(mode, cfg.Nodes, cfg.BlockCacheBytes, cfg.Replicate)
 		if err != nil {
 			return nil, err
 		}

@@ -65,6 +65,16 @@ type NodeDigest struct {
 	RPCRetries    uint64 `json:"rpc_retries"`
 	WorldSwitches uint64 `json:"world_switches"`
 	AsyncSyscalls uint64 `json:"async_syscalls"`
+
+	// Replication shipping (the attested backup mirror), present only on
+	// runs with replication enabled. ShipFailed above 0 means a stream
+	// durably degraded during the measurement — the run's overhead number
+	// no longer reflects the replicated write path and should be redone.
+	ReplShipGroups  uint64 `json:"repl_ship_groups,omitempty"`
+	ReplShipAcked   uint64 `json:"repl_ship_acked,omitempty"`
+	ReplShipFailed  uint64 `json:"repl_ship_failed,omitempty"`
+	ReplShipSkipped uint64 `json:"repl_ship_skipped,omitempty"`
+	ReplRecvAcked   uint64 `json:"repl_recv_acked,omitempty"`
 }
 
 // MetricsReport is the per-version report: one digest per node address.
@@ -125,6 +135,11 @@ func DigestSnapshot(s obs.Snapshot) NodeDigest {
 		d.CacheLookups = lookups
 		d.CacheHitRate = float64(s.Counter("lsm.cache.hits")) / float64(lookups)
 	}
+	d.ReplShipGroups = s.Counter("repl.ship_groups")
+	d.ReplShipAcked = s.Counter("repl.ship_acked")
+	d.ReplShipFailed = s.Counter("repl.ship_failed")
+	d.ReplShipSkipped = s.Counter("repl.ship_skipped")
+	d.ReplRecvAcked = s.Counter("repl.recv_acked")
 	return d
 }
 

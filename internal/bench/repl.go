@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+
+	"treaty/internal/core"
+)
+
+// Replication ablation: the same write-heavy (YCSB 20%R, fig5-shaped)
+// distributed run at the full security mode, once without and once with
+// per-shard attested backups. The delta is the price of shipping every
+// commit group to its mirror inside the group-commit critical section
+// (ship + ack between the fsync and the trusted-counter stabilization) —
+// the cost of rollback-resistant failover on top of Treaty w/ Enc w/
+// Stab.
+
+// ReplicationResult summarizes the two-arm ablation.
+type ReplicationResult struct {
+	// Off and On are the measured arms ("Treaty w/ Enc w/ Stab" and
+	// "+ repl"); both carry full per-node metric digests.
+	Off Measurement
+	On  Measurement
+
+	// Overhead is Off.Tps / On.Tps (>= 1 when replication costs
+	// throughput; the paper-style slowdown factor).
+	Overhead float64
+
+	// Cluster-wide shipping totals from the replicated arm. ShipAcked of
+	// zero or ShipFailed above zero means the arm is vacuous or degraded
+	// and the Overhead number is not evidence of anything.
+	ShipGroups uint64
+	ShipAcked  uint64
+	ShipFailed uint64
+	RecvAcked  uint64
+}
+
+// RunReplicationAblation measures the write path with replication off and
+// on, under identical load.
+func RunReplicationAblation(cfg DistConfig) (ReplicationResult, error) {
+	cfg = cfg.withDefaults()
+	var r ReplicationResult
+	for _, replicate := range []bool{false, true} {
+		cfg.Replicate = replicate
+		c, err := newBenchCluster(core.ModeSconeEncStab, cfg.Nodes, cfg.BlockCacheBytes, replicate)
+		if err != nil {
+			return r, err
+		}
+		m, err := runDistYCSB(c, cfg, 0.2)
+		if replicate {
+			m.Label = "+ repl"
+		} else {
+			m.Label = "Treaty w/ Enc w/ Stab"
+		}
+		m.Metrics = CaptureMetrics(m.Label, c)
+		c.Stop()
+		if err != nil {
+			return r, err
+		}
+		if replicate {
+			r.On = m
+		} else {
+			r.Off = m
+		}
+	}
+	for _, d := range r.On.Metrics.Nodes {
+		r.ShipGroups += d.ReplShipGroups
+		r.ShipAcked += d.ReplShipAcked
+		r.ShipFailed += d.ReplShipFailed
+		r.RecvAcked += d.ReplRecvAcked
+	}
+	if r.On.Tps > 0 {
+		r.Overhead = r.Off.Tps / r.On.Tps
+	}
+	return r, nil
+}
+
+// PrintReplication renders the ablation result.
+func PrintReplication(r ReplicationResult) string {
+	return fmt.Sprintf(
+		"Replication: %.1f -> %.1f tps (%.2fx overhead), shipped groups=%d acked=%d failed=%d recv-acked=%d",
+		r.Off.Tps, r.On.Tps, r.Overhead, r.ShipGroups, r.ShipAcked, r.ShipFailed, r.RecvAcked)
+}

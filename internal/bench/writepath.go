@@ -40,7 +40,7 @@ type WritePathResult struct {
 // distributed YCSB panel, and digests the write-path metrics.
 func RunWritePathSmoke(cfg DistConfig) (WritePathResult, error) {
 	cfg = cfg.withDefaults()
-	c, err := newBenchCluster(core.ModeSconeEncStab, cfg.Nodes, cfg.BlockCacheBytes)
+	c, err := newBenchCluster(core.ModeSconeEncStab, cfg.Nodes, cfg.BlockCacheBytes, cfg.Replicate)
 	if err != nil {
 		return WritePathResult{}, err
 	}

@@ -75,6 +75,10 @@ type Config struct {
 	// cycles become hard failures instead of silently passing the
 	// balance sum.
 	Audit bool
+	// Replicate assigns every slot a backup and ships commit groups to
+	// it before the primary's counters stabilize, so failover faults can
+	// promote a backup instead of restarting the dead node.
+	Replicate bool
 }
 
 // SeedFromEnv returns the soak seed: the TREATY_SEED environment
@@ -161,6 +165,10 @@ type Harness struct {
 	// nodesMu guards live-node access: workers take the read side to
 	// pick a coordinator; crash/restart take the write side.
 	nodesMu sync.RWMutex
+	// failedOver marks nodes replaced by a promoted backup: they stay
+	// down for the rest of the soak by design, so quiescence checks must
+	// not wait for them to come back.
+	failedOver map[int]bool
 
 	// committed[i] counts worker i's observed successful commits; the
 	// database's per-worker commit counter must never fall below it.
@@ -191,18 +199,20 @@ func New(cfg Config) (*Harness, error) {
 		Seed:         cfg.Seed,
 		NodeFS:       nodeFS,
 		ClogSync:     cfg.ClogSync,
+		Replicate:    cfg.Replicate,
 	})
 	if err != nil {
 		return nil, err
 	}
 	h := &Harness{
-		cfg:       cfg,
-		cluster:   cluster,
-		adv:       newChaosAdversary(cfg.Seed),
-		hold:      &simnet.Holder{},
-		committed: make([]uint64, cfg.Workers),
-		aborted:   make([]uint64, cfg.Workers),
-		fsByNode:  fsByNode,
+		cfg:        cfg,
+		cluster:    cluster,
+		adv:        newChaosAdversary(cfg.Seed),
+		hold:       &simnet.Holder{},
+		committed:  make([]uint64, cfg.Workers),
+		aborted:    make([]uint64, cfg.Workers),
+		fsByNode:   fsByNode,
+		failedOver: make(map[int]bool),
 	}
 	if cfg.Audit {
 		h.rec = audit.NewRecorder()
@@ -452,6 +462,9 @@ func (h *Harness) leaks() string {
 	for i := 0; i < h.cluster.Nodes(); i++ {
 		n := h.cluster.Node(i)
 		if n == nil {
+			if h.failedOver[i] {
+				continue // replaced by its promoted backup, never returns
+			}
 			return fmt.Sprintf("node %d still down", i)
 		}
 		if p := n.Endpoint().PendingCount(); p != 0 {
@@ -498,7 +511,11 @@ func (h *Harness) verify() error {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		rec := h.rec.Begin(-2)
-		txn = h.cluster.Node(0).Begin(nil)
+		coord := h.pickNode(attempt)
+		if coord == nil {
+			return fmt.Errorf("chaos: no live node to verify from")
+		}
+		txn = coord.Begin(nil)
 		sum = 0
 		ok := true
 		for i := 0; i < h.cfg.Accounts; i++ {
@@ -588,6 +605,22 @@ func nodeMetricLaws(addr string, s obs.Snapshot) string {
 	}
 	if app, stable := s.Gauge("lsm.wal.appended_lsn"), s.Gauge("lsm.wal.stable_lsn"); app < stable {
 		return fmt.Sprintf("%s: WAL law violated: appended_lsn=%d < stable_lsn=%d", addr, app, stable)
+	}
+	// Replication: every shipped commit group resolves to exactly one of
+	// acked, failed (degrade), or skipped (no backup bound yet), and
+	// every group a backup received was either acked or rejected. Both
+	// hold trivially at zero when replication is off.
+	shipped := s.Counter("repl.ship_groups")
+	shipRes := s.Counter("repl.ship_acked") + s.Counter("repl.ship_failed") + s.Counter("repl.ship_skipped")
+	if shipped != shipRes {
+		return fmt.Sprintf("%s: repl ship law violated: groups=%d acked+failed+skipped=%d",
+			addr, shipped, shipRes)
+	}
+	recv := s.Counter("repl.recv_groups")
+	recvRes := s.Counter("repl.recv_acked") + s.Counter("repl.recv_rejected")
+	if recv != recvRes {
+		return fmt.Sprintf("%s: repl recv law violated: groups=%d acked+rejected=%d",
+			addr, recv, recvRes)
 	}
 	// Block cache (only when enabled: capacity gauge is 0 otherwise):
 	// every lookup resolves to exactly one of hit or miss, resident bytes

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"treaty/internal/attest"
+	"treaty/internal/shardmap"
+	"treaty/internal/workload"
+)
+
+// failoverFault kills a primary mid-traffic and promotes its recorded
+// backup through the CAS certificate path — the dead node never comes
+// back, its slots and address are adopted by the successor, and the
+// bank workload keeps running across the ownership flip. Before the
+// genuine takeover, the fault also submits a deliberately rolled-back
+// promotion request (claims truncated to an empty mirror) and requires
+// the CAS to refuse it: a soak where the rollback check never fired
+// would prove nothing about rollback resistance.
+type failoverFault struct {
+	node int
+
+	done chan error
+
+	// Promotions counts completed takeovers; RollbackRejects counts
+	// tampered requests the CAS refused. Both are non-vacuity witnesses
+	// the soak test asserts on.
+	Promotions      int
+	RollbackRejects int
+	// PreKillCommits counts workload transfers the fault committed on
+	// the healed cluster before killing the primary. The takeover must
+	// replay committed history from before the kill, and leaving those
+	// commits to the surrounding lossy rounds makes the soak flaky — a
+	// 20%-loss round regularly commits nothing at all.
+	PreKillCommits int
+	// Successor is the id of the node that took over (valid after Lift).
+	Successor uint64
+}
+
+func (f *failoverFault) Name() string {
+	return fmt.Sprintf("failover-promote-backup-of-node-%d", f.node)
+}
+
+func (f *failoverFault) Inject(h *Harness) {
+	f.done = make(chan error, 1)
+	// Commit a few audited transfers on the still-healed cluster before
+	// anything dies: the round's own traffic starts only after Inject
+	// returns, and these are the commits whose survival across the
+	// takeover the soak asserts on. They bump the worker-0 observed
+	// count, so losing one trips the durability invariant directly.
+	bank := workload.NewBank(workload.BankConfig{Accounts: h.cfg.Accounts}, h.cfg.Seed+104729)
+	for try := 0; try < 20 && f.PreKillCommits < 2; try++ {
+		if err := h.transfer(0, bank.Next(), bank.Intn(h.cfg.Nodes)); err != nil {
+			h.aborted[0]++
+			continue
+		}
+		h.committed[0]++
+		f.PreKillCommits++
+	}
+	go func() {
+		// Let the round's traffic commit through the doomed primary
+		// first, so its mirror — and the CAS witness state — are live.
+		time.Sleep(h.cfg.RoundDuration / 4)
+		h.crashNode(f.node)
+		f.done <- f.promote(h)
+	}()
+}
+
+// promote runs the takeover while workers hammer the cluster: tampered
+// request first (must be refused), then the genuine certificate.
+func (f *failoverFault) promote(h *Harness) error {
+	dead := uint64(f.node)
+
+	// Find the live node holding the dead primary's mirror: the
+	// map-recorded backup of its slots.
+	m := h.cluster.CAS().ShardMap()
+	backupID := shardmap.NoBackup
+	for s := 0; s < shardmap.NumSlots; s++ {
+		if m.Slots[s] != dead {
+			continue
+		}
+		if b, ok := m.SlotBackup(s); ok {
+			backupID = b
+			break
+		}
+	}
+	if backupID == shardmap.NoBackup {
+		return fmt.Errorf("chaos: dead node %d has no recorded backup", f.node)
+	}
+	h.nodesMu.RLock()
+	backup := h.cluster.Node(int(backupID))
+	h.nodesMu.RUnlock()
+	if backup == nil {
+		return fmt.Errorf("chaos: recorded backup %d is not live", backupID)
+	}
+
+	// Adversary first: claim the mirror holds nothing. The CAS witnessed
+	// real groups before the primary's counters stabilized, so this is a
+	// rollback and must be refused — with live traffic still running.
+	rolled := backup.BuildPromotionRequest(dead)
+	if len(rolled.Streams) == 0 {
+		return fmt.Errorf("chaos: no witnessed streams for node %d — the failover round is vacuous", f.node)
+	}
+	for i := range rolled.Streams {
+		rolled.Streams[i].Seq = 0
+		rolled.Streams[i].HaveBoundary = false
+	}
+	if _, err := backup.SubmitPromotion(rolled); !errors.Is(err, attest.ErrReplicaRolledBack) {
+		return fmt.Errorf("chaos: rolled-back promotion request was not refused: %v", err)
+	}
+	f.RollbackRejects++
+
+	// The genuine takeover: replay the mirror, flip the map, adopt the
+	// dead coordinator's undecided transactions.
+	successor, err := h.cluster.Promote(f.node)
+	if err != nil {
+		return fmt.Errorf("chaos: promoting backup of node %d: %w", f.node, err)
+	}
+	f.Successor = successor.ID()
+
+	// The dead node is gone for good: quiescence must stop waiting for
+	// it.
+	h.nodesMu.Lock()
+	h.failedOver[f.node] = true
+	h.nodesMu.Unlock()
+	return nil
+}
+
+func (f *failoverFault) Lift(h *Harness) error {
+	if err := <-f.done; err != nil {
+		return err
+	}
+	// Convergence: nothing is owned by the dead node any more, and every
+	// live node resolves its id to the successor's address.
+	m := h.cluster.CAS().ShardMap()
+	for s := 0; s < shardmap.NumSlots; s++ {
+		if m.Slots[s] == uint64(f.node) {
+			return fmt.Errorf("chaos: slot %d still owned by failed-over node %d", s, f.node)
+		}
+	}
+	h.nodesMu.RLock()
+	defer h.nodesMu.RUnlock()
+	var succAddr string
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		if n := h.cluster.Node(i); n != nil && n.ID() == f.Successor {
+			succAddr = n.Addr()
+		}
+	}
+	if succAddr == "" {
+		return fmt.Errorf("chaos: successor %d not live after failover", f.Successor)
+	}
+	for i := 0; i < h.cluster.Nodes(); i++ {
+		n := h.cluster.Node(i)
+		if n == nil {
+			continue
+		}
+		if got := n.AddrOfNode(uint64(f.node)); got != succAddr {
+			return fmt.Errorf("chaos: node %d resolves dead node %d to %q, want successor %q",
+				n.ID(), f.node, got, succAddr)
+		}
+	}
+	f.Promotions++
+	return nil
+}
+
+// FailoverScript builds the failover soak mix: network adversity
+// sandwiching one permanent primary kill and backup promotion. Only one
+// failover fires per soak — after it, the successor's slots have no
+// recorded backup (its own backup stream to the dead node degrades by
+// design), so a second promotion of the same lineage would be refused.
+func FailoverScript(rounds, kill int) []Fault {
+	script := make([]Fault, 0, rounds)
+	for _, f := range []Fault{lossFault{rate: 0.20}, delayDupFault{}, &failoverFault{node: kill}} {
+		if len(script) < rounds {
+			script = append(script, f)
+		}
+	}
+	tail := []Fault{lossFault{rate: 0.20}, delayDupFault{}}
+	for i := 0; len(script) < rounds; i++ {
+		script = append(script, tail[i%len(tail)])
+	}
+	return script
+}

@@ -64,6 +64,9 @@ type ClusterOptions struct {
 	NodeFS func(i int) vfs.FS
 	// ClogSync enables per-append Clog fsync on every node.
 	ClogSync bool
+	// Replicate enables per-shard primary-backup replication on every
+	// node (see NodeConfig.Replicate).
+	Replicate bool
 }
 
 // Cluster is an in-process Treaty deployment: N nodes, a CAS, an IAS, a
@@ -203,6 +206,7 @@ func (c *Cluster) nodeConfig(id uint64, addr string) (NodeConfig, error) {
 		LockShards:         c.opts.LockShards,
 		BlockCacheBytes:    c.opts.BlockCacheBytes,
 		EPCBudget:          c.opts.EPCBudget,
+		Replicate:          c.opts.Replicate,
 	}, nil
 }
 

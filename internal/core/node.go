@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"treaty/internal/lsm"
 	"treaty/internal/mempool"
 	"treaty/internal/obs"
+	"treaty/internal/repl"
 	"treaty/internal/seal"
 	"treaty/internal/shardmap"
 	"treaty/internal/simnet"
@@ -86,6 +88,13 @@ type NodeConfig struct {
 	// EPCBudget overrides the modelled enclave page cache size in bytes
 	// (0 = the SGXv1 default).
 	EPCBudget int64
+	// Replicate enables per-shard primary-backup replication: the node
+	// ships every fsynced WAL/Clog commit group to the backup the shard
+	// map assigns its slots (before the groups' trusted counters
+	// stabilize), and accepts mirror streams from peers backing up to
+	// it. Failover goes through Promote, gated by a CAS promotion
+	// certificate.
+	Replicate bool
 }
 
 // Node is one running Treaty node (Figure 1): the trusted components —
@@ -107,7 +116,12 @@ type Node struct {
 	ctrCli  *counter.Client
 	ctrEP   *erpc.Endpoint
 	ctrPoll *erpc.Poller
-	cluster *attest.ClusterConfig
+	// trustedCtrs records every trusted counter the node's factory
+	// handed out (WAL, Clog) so Crash can poison stabilization — the
+	// acknowledgement gate — in one step, whatever the counter backend.
+	ctrMu       sync.Mutex
+	trustedCtrs []lsm.TrustedCounter
+	cluster     *attest.ClusterConfig
 	// shard holds the node's verified view of the attested shard map;
 	// shardMin is the highest epoch this node has ever verified — the
 	// rollback floor a replayed older map is checked against.
@@ -116,6 +130,13 @@ type Node struct {
 	shardMin atomic.Uint64
 	clients  *clientSessions
 	reg      *obs.Registry
+
+	// Replication (nil unless NodeConfig.Replicate): the mirror
+	// receiver for peers backing up to this node, and this node's own
+	// per-stream shippers.
+	backup   *repl.Backup
+	walShip  *repl.Shipper
+	clogShip *repl.Shipper
 }
 
 // StartNode boots a node: launch the enclave, attest to the CAS, receive
@@ -201,6 +222,59 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.shutdownPartial()
 		return nil, err
 	}
+	// Record every counter handed out, whatever the backend, so Crash
+	// can poison them (cutting the node's acknowledgement path).
+	baseCounters := counters
+	counters = func(name string) lsm.TrustedCounter {
+		c := baseCounters(name)
+		n.ctrMu.Lock()
+		n.trustedCtrs = append(n.trustedCtrs, c)
+		n.ctrMu.Unlock()
+		return c
+	}
+
+	// Replication: the backup receiver must exist before the engine
+	// opens (peers may ship as soon as the endpoint polls), and the
+	// shippers must exist before the engine opens so its commit hook is
+	// wired from the first group.
+	var walShipHook func([]lsm.ReplEntry)
+	var clogShipHook func([]lsm.ReplEntry)
+	if cfg.Replicate {
+		n.backup, err = repl.NewBackup(repl.BackupConfig{
+			Dir:     cfg.Dir,
+			FS:      cfg.FS,
+			Key:     clusterCfg.NetworkKey,
+			Metrics: n.reg,
+		})
+		if err != nil {
+			n.shutdownPartial()
+			return nil, err
+		}
+		// Registered directly, NOT on a worker fiber: a mirror append
+		// never touches this node's own commit path, so it stays
+		// serviceable while every fiber is parked on a local commit
+		// group that is itself waiting on a ship ack from a peer (the
+		// mutual-replication cycle that would otherwise deadlock).
+		n.ep.Register(twopc.ReqReplShip, n.backup.Handler())
+		shipCfg := repl.ShipperConfig{
+			Primary:  cfg.ID,
+			Endpoint: n.ep,
+			BackupOf: n.replBackupID,
+			AddrOf: func(id uint64) (string, bool) {
+				a := n.AddrOfNode(id)
+				return a, a != ""
+			},
+			Witness: cfg.CAS,
+			Key:     clusterCfg.NetworkKey,
+			Metrics: n.reg,
+		}
+		shipCfg.Stream = repl.StreamWAL
+		n.walShip = repl.NewShipper(shipCfg)
+		walShipHook = n.walShip.Ship
+		shipCfg.Stream = repl.StreamClog
+		n.clogShip = repl.NewShipper(shipCfg)
+		clogShipHook = n.clogShip.Ship
+	}
 
 	// Storage engine (recovers from cfg.Dir if state exists).
 	n.db, err = lsm.Open(lsm.Options{
@@ -215,6 +289,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		BlockCacheBytes:    cfg.BlockCacheBytes,
 		Pool:               n.pool,
 		Metrics:            n.reg,
+		Ship:               walShipHook,
 	})
 	if err != nil {
 		n.shutdownPartial()
@@ -258,6 +333,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		DisableGroupCommit: cfg.DisableGroupCommit,
 		Metrics:            n.reg,
 		Pool:               n.pool,
+		Ship:               clogShipHook,
 	})
 	if clog.TornTailDropped() {
 		n.reg.Counter("storage.clog.torn_dropped").Inc()
@@ -409,6 +485,9 @@ func (n *Node) shutdownPartial() {
 	if n.ep != nil {
 		_ = n.ep.Close()
 	}
+	if n.backup != nil {
+		_ = n.backup.Close()
+	}
 }
 
 // randomID draws a fresh 63-bit identity.
@@ -488,6 +567,37 @@ func (n *Node) AddrOfNode(id uint64) string {
 	return ""
 }
 
+// replBackupID resolves the backup node the current shard map assigns
+// this node's slots. Replication streams are per node-pair: if the map
+// ever assigns different backups to different slots of this node, the
+// assignment is ambiguous for a whole-log stream and the shipper treats
+// it as unassigned (degrading if it had already bound a mirror).
+func (n *Node) replBackupID() (uint64, bool) {
+	v := n.shard.View()
+	if v == nil {
+		return 0, false
+	}
+	var id uint64
+	found := false
+	for s := 0; s < shardmap.NumSlots; s++ {
+		if v.Slots[s] != n.cfg.ID {
+			continue
+		}
+		b, ok := v.SlotBackup(s)
+		if !ok || b == n.cfg.ID {
+			continue
+		}
+		if found && b != id {
+			return 0, false
+		}
+		id, found = b, true
+	}
+	return id, found
+}
+
+// Backup exposes the node's mirror receiver (nil unless replicating).
+func (n *Node) Backup() *repl.Backup { return n.backup }
+
 // Begin starts a distributed transaction coordinated by this node.
 func (n *Node) Begin(yield func()) *twopc.DistTxn { return n.coord.Begin(yield) }
 
@@ -503,6 +613,7 @@ func (n *Node) Recover() error {
 
 // Stop shuts the node down cleanly.
 func (n *Node) Stop() error {
+	n.stopShippers()
 	n.poller.Stop()
 	n.part.Close()
 	n.sched.Stop()
@@ -517,8 +628,33 @@ func (n *Node) Stop() error {
 	if n.ctrEP != nil {
 		errs = append(errs, n.ctrEP.Close())
 	}
+	if n.backup != nil {
+		errs = append(errs, n.backup.Close())
+	}
 	return errors.Join(errs...)
 }
+
+// stopShippers makes later Ship hooks silent no-ops (no witness, no
+// degrade). Teardown-time commit groups then stabilize unshipped, which
+// is sound because their acknowledgements can no longer be delivered
+// (the scheduler and poller are dying with them): replication promises
+// that *acknowledged* commits survive failover — a client ack is
+// delivered only after Ship returned with the backup's ack — and work
+// that dies unacknowledged inside the node may be lost, exactly like
+// work cut off by the power-loss model. Without this, a crash-time
+// in-flight ship would fail against the closing endpoint and durably
+// degrade the stream, vetoing the very promotion the crash calls for.
+func (n *Node) stopShippers() {
+	if n.walShip != nil {
+		n.walShip.Stop()
+	}
+	if n.clogShip != nil {
+		n.clogShip.Stop()
+	}
+}
+
+// errCrashStopped fails stabilization waits caught mid-flight by Crash.
+var errCrashStopped = errors.New("core: node crash-stopped")
 
 // Crash kills the node without any graceful shutdown: in-memory state is
 // lost, only synced files survive (the crash-fail model, §III).
@@ -530,6 +666,42 @@ func (n *Node) Stop() error {
 // of mutating files a restarted instance now owns, and finally release
 // the network addresses.
 func (n *Node) Crash() {
+	// Poison stabilization BEFORE stopping the shippers. Every
+	// acknowledgement this node can externalize — a participant's
+	// prepare vote, a coordinator's commit return — is gated on a
+	// stable-token wait that runs AFTER the group's Ship hook. Poisoning
+	// first therefore closes the staged-teardown window: any Ship that
+	// observes the stop flag (and silently skips the mirror) is followed
+	// by a token wait that observes the poison and fails, so a commit
+	// group absent from the mirror can never reach a client or a
+	// coordinator as acknowledged. Without this ordering, an in-flight
+	// transaction could skip the ship, stabilize, and ack during the
+	// milliseconds the rest of the teardown takes — a client-visible
+	// commit the promoted backup has never heard of.
+	// But first, crash-stop the Clog. Coordinator appends run on client
+	// goroutines that nothing below can freeze, and the poison is about
+	// to wake every stabilization waiter into its abort path — which
+	// appends an abort decision. Abandon makes those appends fail
+	// without touching the file and barriers on the in-flight group, so
+	// once Crash returns no write can ever reach a file the restarted
+	// instance owns (the observed failure was a spliced Clog hash chain
+	// mid-file after a crash-restart round).
+	n.clog.Abandon()
+	if n.ctrCli != nil {
+		n.ctrCli.Fail(errCrashStopped)
+	}
+	// The counter-service client above only covers the stabilization
+	// modes; the native modes hand out file counters, which stabilize
+	// instantly — poison those too, or their waitToken always succeeds.
+	n.ctrMu.Lock()
+	ctrs := append([]lsm.TrustedCounter(nil), n.trustedCtrs...)
+	n.ctrMu.Unlock()
+	for _, c := range ctrs {
+		if f, ok := c.(interface{ Fail(error) }); ok {
+			f.Fail(errCrashStopped)
+		}
+	}
+	n.stopShippers()
 	n.poller.Stop()
 	n.part.Abandon()
 	n.sched.Stop()

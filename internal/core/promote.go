@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"treaty/internal/attest"
+	"treaty/internal/lsm"
+	"treaty/internal/repl"
+	"treaty/internal/twopc"
+)
+
+// debugPromote dumps the mirror replay to stderr (TREATY_DEBUG_PROMOTE=1).
+var debugPromote = os.Getenv("TREATY_DEBUG_PROMOTE") != ""
+
+func dbgf(format string, args ...any) {
+	if debugPromote {
+		fmt.Fprintf(os.Stderr, "[promote] "+format+"\n", args...)
+	}
+}
+
+func dbgBatch(prefix string, b *lsm.Batch) {
+	if !debugPromote {
+		return
+	}
+	_ = b.Each(func(kind lsm.RecordKind, key, value []byte) error {
+		fmt.Fprintf(os.Stderr, "[promote]   %s %q = %q\n", prefix, key, value)
+		return nil
+	})
+}
+
+// Failover: a backup taking over a dead primary's slots. The takeover is
+// gated by a CAS promotion certificate — the trusted-counter-anchored
+// proof that this backup's mirror covers every commit group any
+// stabilized counter value can reference — and then replays the mirror
+// through the same decode paths crash recovery uses:
+//
+//	phase A (before the epoch flip): WAL mirror → engine state. Committed
+//	  batches re-apply; prepares without decisions restore as prepared
+//	  transactions for 2PC resolution, exactly as a local reboot would.
+//	phase B (after the flip): Clog mirror → coordinator adoption. The
+//	  dead primary's undecided transactions re-drive under this node's
+//	  coordinator, with participant lists rewritten so entries naming
+//	  the dead primary's address now name ours (we ARE that address in
+//	  the new epoch — InstallPromotion aliased the membership entry).
+//
+// A decision absent from the mirror was never stabilized on the primary,
+// so it was never acknowledged anywhere — presumed abort stays sound
+// across the takeover.
+
+// BuildPromotionRequest assembles this node's mirror evidence for taking
+// over primary: one claim per CAS-witnessed stream, carrying how far the
+// mirror reaches and its digest at the witnessed position.
+func (n *Node) BuildPromotionRequest(primary uint64) *attest.PromotionRequest {
+	req := &attest.PromotionRequest{Primary: primary, Backup: n.cfg.ID}
+	for _, w := range n.cfg.CAS.ReplWitnesses(primary) {
+		cl := attest.StreamClaim{Stream: w.Stream}
+		if n.backup != nil {
+			if seq, _, ok := n.backup.StreamState(primary, w.Stream); ok {
+				cl.Seq = seq
+			}
+			if d, ok := n.backup.DigestAt(primary, w.Stream, w.Seq); ok {
+				cl.DigestAtWitness = d
+				cl.HaveBoundary = true
+			}
+		}
+		req.Streams = append(req.Streams, cl)
+	}
+	return req
+}
+
+// notePromotionReject maps a promotion failure to its rejection counter,
+// mirroring how stale shard maps fire shardmap.stale_epoch_rejected.
+func (n *Node) notePromotionReject(err error) {
+	switch {
+	case errors.Is(err, attest.ErrReplicaRolledBack):
+		n.reg.Counter("repl.rollback_rejected").Inc()
+	case errors.Is(err, attest.ErrReplicaForked):
+		n.reg.Counter("repl.fork_rejected").Inc()
+	case errors.Is(err, attest.ErrPromotionReplayed):
+		n.reg.Counter("repl.cert_replay_rejected").Inc()
+	}
+}
+
+// SubmitPromotion asks the CAS to certify this node as primary's
+// successor; rollback/fork rejections fire their counters.
+func (n *Node) SubmitPromotion(req *attest.PromotionRequest) (*attest.PromotionCert, error) {
+	cert, err := n.cfg.CAS.IssuePromotionCert(req)
+	if err != nil {
+		n.notePromotionReject(err)
+		return nil, err
+	}
+	return cert, nil
+}
+
+// InstallPromotionCert consumes a certificate: the CAS installs the
+// successor epoch and this node adopts it. Replayed certificates fire
+// repl.cert_replay_rejected.
+func (n *Node) InstallPromotionCert(cert *attest.PromotionCert) error {
+	m, err := n.cfg.CAS.InstallPromotion(cert)
+	if err != nil {
+		n.notePromotionReject(err)
+		return err
+	}
+	return n.ApplyShardMap(m)
+}
+
+// Promote performs the full takeover of a dead primary: certificate,
+// mirror replay, epoch flip, and adoption of the primary's in-flight
+// 2PC transactions. The primary must be dead — Treaty's failure model
+// (crash-stop, no rejoin under the old identity) is what makes serving
+// its slots from here safe.
+func (n *Node) Promote(primary uint64) error {
+	if n.backup == nil {
+		return errors.New("core: node is not replicating")
+	}
+	req := n.BuildPromotionRequest(primary)
+	cert, err := n.SubmitPromotion(req)
+	if err != nil {
+		return fmt.Errorf("core: promotion refused: %w", err)
+	}
+	// The dead primary's address, resolved in the pre-flip epoch — after
+	// the flip it aliases to us, which is exactly why it must be captured
+	// now for the Clog participant rewrite.
+	oldAddr := n.AddrOfNode(primary)
+
+	// Phase A: WAL mirror → engine, through recovery's decode semantics.
+	pending := make(map[lsm.TxID]*lsm.Batch)
+	var order []lsm.TxID
+	for _, f := range n.backup.Frames(primary, repl.StreamWAL) {
+		switch f.Kind {
+		case lsm.WALKindBatch:
+			b, err := lsm.DecodeBatch(f.Payload)
+			if err != nil {
+				return fmt.Errorf("core: promoting %d: WAL batch: %w", primary, err)
+			}
+			dbgf("walA ctr=%d batch count=%d", f.Counter, b.Count())
+			dbgBatch("batch", b)
+			if _, _, err := n.db.Apply(b); err != nil {
+				return fmt.Errorf("core: promoting %d: applying batch: %w", primary, err)
+			}
+		case lsm.WALKindPrepare:
+			id, b, err := lsm.DecodePreparePayload(f.Payload)
+			if err != nil {
+				return fmt.Errorf("core: promoting %d: WAL prepare: %w", primary, err)
+			}
+			dbgf("walA ctr=%d prepare tx=%x count=%d", f.Counter, id, b.Count())
+			dbgBatch("prep", b)
+			if _, ok := pending[id]; !ok {
+				order = append(order, id)
+			}
+			pending[id] = b
+		case lsm.WALKindTxDecision:
+			id, commit, err := lsm.DecodeDecisionPayload(f.Payload)
+			if err != nil {
+				return fmt.Errorf("core: promoting %d: WAL decision: %w", primary, err)
+			}
+			dbgf("walA ctr=%d decision tx=%x commit=%v", f.Counter, id, commit)
+			// A decided transaction needs no restore: a commit's data
+			// arrives as its own batch record (CommitPrepared appends
+			// both), an abort left no engine state.
+			delete(pending, id)
+		default:
+			return fmt.Errorf("core: promoting %d: unknown WAL record kind %d", primary, f.Kind)
+		}
+	}
+	var undecided []lsm.PreparedTx
+	for _, id := range order {
+		if b, ok := pending[id]; ok {
+			undecided = append(undecided, lsm.PreparedTx{ID: id, Batch: b})
+		}
+	}
+	sort.Slice(undecided, func(i, j int) bool {
+		return string(undecided[i].ID[:]) < string(undecided[j].ID[:])
+	})
+	for _, u := range undecided {
+		dbgf("restore prepared tx=%x count=%d", u.ID, u.Batch.Count())
+	}
+	if err := n.part.RestorePrepared(undecided); err != nil {
+		return fmt.Errorf("core: promoting %d: restoring prepared: %w", primary, err)
+	}
+
+	// Epoch flip: from here the dead primary's slots — and its address —
+	// are ours.
+	if err := n.InstallPromotionCert(cert); err != nil {
+		return fmt.Errorf("core: promotion install: %w", err)
+	}
+
+	// Phase B: Clog mirror → coordinator adoption. Entries naming the
+	// dead primary as a participant are rewritten to us.
+	var entries []twopc.ClogEntry
+	for _, f := range n.backup.Frames(primary, repl.StreamClog) {
+		e, err := twopc.DecodeClogRecord(f.Kind, f.Counter, f.Payload)
+		if err != nil {
+			return fmt.Errorf("core: promoting %d: clog record: %w", primary, err)
+		}
+		dbgf("clogB tx=%x kind=%d commit=%v parts=%v", e.TxID, e.Kind, e.Commit, e.Participants)
+		entries = append(entries, e)
+	}
+	rewrite := func(a string) string {
+		if a == oldAddr {
+			return n.cfg.Addr
+		}
+		return a
+	}
+	if err := n.coord.AdoptRecovered(entries, rewrite, nil); err != nil {
+		return fmt.Errorf("core: promoting %d: adopting clog: %w", primary, err)
+	}
+	if err := n.part.ResolveRecovered(n.AddrOfNode, 20, nil); err != nil {
+		return fmt.Errorf("core: promoting %d: resolving prepared: %w", primary, err)
+	}
+	n.reg.Counter("repl.promotions").Inc()
+	return nil
+}
+
+// Promote fails over a dead (crashed) node: its recorded backup builds
+// the promotion evidence, obtains the CAS certificate, replays its
+// mirror, and takes over the slots; every live node then refreshes to
+// the successor epoch. Returns the promoted node.
+func (c *Cluster) Promote(dead int) (*Node, error) {
+	if c.nodes[dead] != nil {
+		return nil, fmt.Errorf("core: node %d is still live; crash it before promoting", dead)
+	}
+	deadID := c.nodeCfg[dead].ID
+	m := c.cas.ShardMap()
+	backupID := uint64(0)
+	found := false
+	for s := 0; s < len(m.Slots); s++ {
+		if m.Slots[s] != deadID {
+			continue
+		}
+		if b, ok := m.SlotBackup(s); ok {
+			backupID, found = b, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: node %d has no recorded backup", dead)
+	}
+	var successor *Node
+	for _, n := range c.nodes {
+		if n != nil && n.ID() == backupID {
+			successor = n
+			break
+		}
+	}
+	if successor == nil {
+		return nil, fmt.Errorf("core: backup node %d is not live", backupID)
+	}
+	if err := successor.Promote(deadID); err != nil {
+		return nil, err
+	}
+	c.RefreshShardMaps()
+	return successor, nil
+}

@@ -75,6 +75,7 @@ type Client struct {
 
 	mu      sync.Mutex
 	handles map[string]*Handle
+	failErr error // sticky client-wide poison (Fail); new handles inherit it
 
 	// Id allocation is atomic, not mutex-guarded: broadcast takes ids on
 	// the stabilization hot path, concurrently from every handle pump.
@@ -140,6 +141,10 @@ func (c *Client) Counter(name string) *Handle {
 	}
 	h := &Handle{client: c, name: name}
 	h.cond = sync.NewCond(&h.mu)
+	if c.failErr != nil {
+		h.closed = true
+		h.failed.Store(c.failErr)
+	}
 	c.handles[name] = h
 	go h.pump()
 	return h
@@ -389,6 +394,24 @@ func (h *Handle) close() {
 	h.cond.Broadcast()
 }
 
+// Fail poisons the handle: every present and future stabilization wait
+// returns err. See Client.Fail for the crash-teardown rationale.
+func (h *Handle) Fail(err error) { h.fail(err) }
+
+// fail poisons the handle: every present and future stabilization wait
+// returns err, and the pump starts no further protocol rounds. An
+// in-flight round may still raise the stable view, but waiters check the
+// failure before trusting it, so nothing waits out to success.
+func (h *Handle) fail(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	if h.failedErr() == nil {
+		h.failed.Store(err)
+	}
+	h.cond.Broadcast()
+}
+
 // Close stops all handle pumps.
 func (c *Client) Close() {
 	c.mu.Lock()
@@ -399,5 +422,26 @@ func (c *Client) Close() {
 	c.mu.Unlock()
 	for _, h := range handles {
 		h.close()
+	}
+}
+
+// Fail poisons the client: every present and future stabilization wait —
+// on every handle, including handles created after this call — fails
+// with err. Crash teardown uses it to cut the acknowledgement path in
+// one step: a prepare vote or commit return is externalized only after a
+// successful stable-token wait, so once Fail returns, nothing the dying
+// node does can be acknowledged to anyone.
+func (c *Client) Fail(err error) {
+	c.mu.Lock()
+	if c.failErr == nil {
+		c.failErr = err
+	}
+	handles := make([]*Handle, 0, len(c.handles))
+	for _, h := range c.handles {
+		handles = append(handles, h)
+	}
+	c.mu.Unlock()
+	for _, h := range handles {
+		h.fail(err)
 	}
 }

@@ -75,6 +75,15 @@ type Options struct {
 	// buffers (host region — they hold only ciphertext / unverified
 	// media bytes).
 	Pool *mempool.Pool
+	// Ship, when non-nil, is called once per commit group after the
+	// group's WAL write has been fsynced and before its counters
+	// stabilize, with the group's staged records. A replication
+	// shipper uses this to make acked commits durable on a backup
+	// before the trusted counter pins them; the entries alias the
+	// WAL staging buffer and are valid only during the call. Ship runs
+	// on the committer goroutine with the DB lock held: it must not
+	// call back into this DB.
+	Ship func([]ReplEntry)
 }
 
 // DefaultBlockCacheBytes is the block cache size when Options leaves it
@@ -682,6 +691,7 @@ func (db *DB) commitGroup(group []*commitReq) {
 	// one enclave-boundary crossing for the whole group instead of one
 	// per transaction.
 	var maxCtr uint64
+	var shipped []ReplEntry
 	for i, req := range group {
 		var payload []byte
 		switch req.kind {
@@ -699,6 +709,9 @@ func (db *DB) commitGroup(group []*commitReq) {
 		}
 		db.walAppends.Inc()
 		maxCtr = ctr
+		if db.opt.Ship != nil {
+			shipped = append(shipped, ReplEntry{Kind: req.kind, Counter: ctr, Payload: payload})
+		}
 		results[i] = commitRes{token: StableToken{ctr: db.walCtr, value: ctr}}
 	}
 	writeFailed := false
@@ -733,6 +746,13 @@ func (db *DB) commitGroup(group []*commitReq) {
 		db.commitErr = db.wal.poisoned
 	}
 	if maxCtr > 0 && !syncFailed {
+		// Replicate before stabilizing: once the trusted counter pins
+		// this group, a failover target must already hold it, so the
+		// ship (and the backup's ack, or a durable degrade mark) sits
+		// between the local fsync and the counter advance.
+		if db.opt.Ship != nil && len(shipped) > 0 {
+			db.opt.Ship(shipped)
+		}
 		// Never stabilize entries whose durability is unknown: after a
 		// failed fsync the tail may be gone, and advancing the trusted
 		// counter past it would turn the loss into a false rollback

@@ -147,6 +147,20 @@ func (c *fileCounter) persist(v uint64) error {
 // the counter fail-stopped).
 func (c *fileCounter) WaitStable(uint64) error { return c.Failed() }
 
+// Fail poisons the counter: every later Failed/WaitStable reports err
+// and Stabilize never advances again. Crash teardown uses it to cut the
+// acknowledgement path — a commit whose group skipped the replication
+// mirror must not be able to stabilize and ack afterwards.
+func (c *fileCounter) Fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Failed() == nil {
+		// Wrap so the stored concrete type matches Stabilize's persist
+		// error (atomic.Value requires consistently typed stores).
+		c.failed.Store(fmt.Errorf("lsm: counter %s: %w", c.path, err))
+	}
+}
+
 // StableValue implements TrustedCounter.
 func (c *fileCounter) StableValue() uint64 { return c.v.Load() }
 

@@ -1,0 +1,78 @@
+package lsm
+
+import "fmt"
+
+// Replication surface: the DB exposes the exact records it appends to
+// the WAL — kind, log-codec counter, raw payload — to an optional Ship
+// hook so a replication shipper can forward each fsynced group to a
+// backup before the group's counters stabilize. The payloads are the
+// WAL's own record payloads; a backup that mirrors them byte-for-byte
+// can replay them through the same state machine recovery uses.
+
+// Exported WAL record kinds, for replication consumers that replay
+// mirrored records outside this package.
+const (
+	// WALKindBatch is a committed write batch (payload: encoded batch).
+	WALKindBatch = walKindBatch
+	// WALKindPrepare is a 2PC prepared transaction (payload: 16-byte
+	// txid followed by the encoded batch).
+	WALKindPrepare = walKindPrepare
+	// WALKindTxDecision resolves a prepared transaction (payload:
+	// 16-byte txid followed by a commit byte).
+	WALKindTxDecision = walKindTxDecision
+)
+
+// ReplEntry is one staged log record handed to the Ship hook. Payload
+// aliases the WAL's staging buffer and is valid only for the duration
+// of the Ship call; implementations that retain it must copy.
+type ReplEntry struct {
+	Kind    uint8
+	Counter uint64
+	Payload []byte
+}
+
+// DecodeBatch rebuilds a Batch from its encoded form (the payload of a
+// WALKindBatch record, or the tail of a WALKindPrepare record). The
+// encoding is validated record by record.
+func DecodeBatch(data []byte) (*Batch, error) {
+	recs, err := decodeBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBatch()
+	for _, r := range recs {
+		switch r.kind {
+		case KindSet:
+			b.Put(r.key, r.value)
+		case KindDelete:
+			b.Delete(r.key)
+		}
+	}
+	return b, nil
+}
+
+// DecodePreparePayload splits a WALKindPrepare payload into the
+// transaction id and its write batch.
+func DecodePreparePayload(payload []byte) (TxID, *Batch, error) {
+	var id TxID
+	if len(payload) < len(id) {
+		return id, nil, fmt.Errorf("lsm: short prepare payload (%d bytes)", len(payload))
+	}
+	copy(id[:], payload)
+	b, err := DecodeBatch(payload[len(id):])
+	if err != nil {
+		return id, nil, err
+	}
+	return id, b, nil
+}
+
+// DecodeDecisionPayload splits a WALKindTxDecision payload into the
+// transaction id and the commit/abort verdict.
+func DecodeDecisionPayload(payload []byte) (TxID, bool, error) {
+	var id TxID
+	if len(payload) != len(id)+1 {
+		return id, false, fmt.Errorf("lsm: bad decision payload length %d", len(payload))
+	}
+	copy(id[:], payload)
+	return id, payload[len(id)] != 0, nil
+}

@@ -1,0 +1,327 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"treaty/internal/erpc"
+	"treaty/internal/obs"
+	"treaty/internal/seal"
+	"treaty/internal/vfs"
+)
+
+// Backup receives ship requests and durably mirrors them. It does NOT
+// apply the records to its own engine: a mirror is raw replicated
+// history, applied exactly once — at promotion — through the same
+// decode path crash recovery uses. (Applying eagerly would also ship
+// the applied records back out through the backup's own Ship hook,
+// an infinite echo in mutual-replication topologies.)
+//
+// The handler runs directly on the RPC poller, not on a worker fiber:
+// a mirror append touches only the mirror file, never this node's own
+// commit path, so it can make progress even when every worker fiber is
+// parked waiting on a local commit group that is itself waiting on a
+// ship ack from a peer — the cycle that would otherwise deadlock two
+// nodes replicating to each other.
+type Backup struct {
+	dir     string
+	fs      vfs.FS
+	key     seal.Key
+	mu      sync.Mutex
+	streams map[witnessKey]*mirror
+
+	groups   *obs.Counter
+	acked    *obs.Counter
+	rejected *obs.Counter
+}
+
+type witnessKey struct {
+	primary uint64
+	stream  uint8
+}
+
+// mirror is one (primary, stream) replicated prefix.
+type mirror struct {
+	f      vfs.File
+	size   int64
+	seq    uint64
+	digest [seal.HashSize]byte
+	// boundaries records the running digest after every group, so a
+	// promotion request can present the digest at the CAS-witnessed
+	// position even when the mirror is ahead of the witness.
+	boundaries map[uint64][seal.HashSize]byte
+	// frames is the mirrored history in order, payloads copied.
+	frames []Frame
+}
+
+// BackupConfig configures a backup receiver.
+type BackupConfig struct {
+	// Dir is the node's database directory; mirrors live in Dir/repl.
+	Dir string
+	// FS is the filesystem (nil = real OS).
+	FS vfs.FS
+	// Key is the cluster network key (the proof key is derived).
+	Key seal.Key
+	// Metrics, when non-nil, exports the repl.recv_* counters.
+	Metrics *obs.Registry
+}
+
+// NewBackup opens a backup receiver, replaying any mirror files left by
+// a previous incarnation (torn tails are truncated, like the WAL's).
+func NewBackup(cfg BackupConfig) (*Backup, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	b := &Backup{
+		dir:     filepath.Join(cfg.Dir, "repl"),
+		fs:      fs,
+		key:     KeyFor(cfg.Key),
+		streams: make(map[witnessKey]*mirror),
+	}
+	if m := cfg.Metrics; m != nil {
+		b.groups = m.Counter("repl.recv_groups")
+		b.acked = m.Counter("repl.recv_acked")
+		b.rejected = m.Counter("repl.recv_rejected")
+	}
+	if err := fs.MkdirAll(b.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repl: mkdir %s: %w", b.dir, err)
+	}
+	ents, err := fs.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("repl: scan %s: %w", b.dir, err)
+	}
+	for _, e := range ents {
+		var primary uint64
+		var stream uint8
+		if _, err := fmt.Sscanf(e.Name(), mirrorPattern, &primary, &stream); err != nil {
+			continue
+		}
+		if _, err := b.openMirror(primary, stream); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// mirrorPattern names one (primary, stream) mirror file.
+const mirrorPattern = "p%d-s%d.mirror"
+
+// openMirror opens (or creates) and replays one mirror file. Caller
+// need not hold b.mu (boot only); HandleShip takes it.
+func (b *Backup) openMirror(primary uint64, stream uint8) (*mirror, error) {
+	k := witnessKey{primary, stream}
+	if m := b.streams[k]; m != nil {
+		return m, nil
+	}
+	path := filepath.Join(b.dir, fmt.Sprintf(mirrorPattern, primary, stream))
+	f, err := b.fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repl: open mirror %s: %w", path, err)
+	}
+	// The creation must be durable before any group in this file is
+	// acked: a synced mirror file that vanishes with its directory entry
+	// on power cut would silently roll the replicated prefix back to
+	// zero.
+	if err := b.fs.SyncDir(b.dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repl: syncing mirror dir %s: %w", b.dir, err)
+	}
+	m := &mirror{f: f, boundaries: make(map[uint64][seal.HashSize]byte)}
+	data, err := b.fs.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repl: read mirror %s: %w", path, err)
+	}
+	good := int64(0)
+	for len(data) >= 4 {
+		n := int(binary.LittleEndian.Uint32(data))
+		if len(data) < 4+n {
+			break // torn tail
+		}
+		req, err := DecodeShipRequest(data[4 : 4+n])
+		if err != nil || !req.VerifySig(b.key) || req.Seq != m.seq+1 ||
+			ChainDigest(m.digest, req.Frames) != req.Digest {
+			break // torn/corrupt tail: everything after it is unusable
+		}
+		m.apply(req)
+		good += int64(4 + n)
+		data = data[4+n:]
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("repl: truncating torn mirror %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("repl: syncing truncated mirror %s: %w", path, err)
+		}
+	}
+	m.size = good
+	b.streams[k] = m
+	return m, nil
+}
+
+// apply folds one verified, contiguous group into the in-memory state.
+func (m *mirror) apply(req *ShipRequest) {
+	for _, f := range req.Frames {
+		m.frames = append(m.frames, Frame{
+			Kind:    f.Kind,
+			Counter: f.Counter,
+			Payload: append([]byte(nil), f.Payload...),
+		})
+	}
+	m.seq = req.Seq
+	m.digest = req.Digest
+	m.boundaries[req.Seq] = req.Digest
+}
+
+// Handler returns the erpc handler for ReqReplShip. Register it
+// directly (not via a fiber adapter): see the type comment.
+func (b *Backup) Handler() erpc.Handler {
+	return func(r *erpc.Request) { b.handleShip(r) }
+}
+
+// handleShip verifies and durably appends one shipped group, acking
+// only after the mirror file is fsynced — the ack is the shipper's
+// license to stabilize, so an unsynced ack would let the stable prefix
+// outrun the mirror across a backup power cut.
+func (b *Backup) handleShip(r *erpc.Request) {
+	ack, errMsg := b.ingest(r.Payload)
+	if errMsg != "" {
+		r.ReplyError(errMsg)
+		return
+	}
+	r.Reply(ack)
+}
+
+// Ingest verifies and durably appends one encoded ship request outside
+// any transport, returning the ack payload. Crash harnesses and tools
+// feed mirrors directly through it; the RPC handler wraps the same
+// path.
+func (b *Backup) Ingest(payload []byte) ([]byte, error) {
+	ack, errMsg := b.ingest(payload)
+	if errMsg != "" {
+		return nil, errors.New(errMsg)
+	}
+	return ack, nil
+}
+
+// ingest is handleShip minus the transport: it verifies and durably
+// appends one shipped group, returning the ack payload or the rejection
+// message.
+func (b *Backup) ingest(payload []byte) (ack []byte, errMsg string) {
+	b.groups.Inc()
+	req, err := DecodeShipRequest(payload)
+	if err != nil {
+		b.rejected.Inc()
+		return nil, err.Error()
+	}
+	if !req.VerifySig(b.key) {
+		b.rejected.Inc()
+		return nil, "repl: bad ship proof signature"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, err := b.openMirror(req.Primary, req.Stream)
+	if err != nil {
+		b.rejected.Inc()
+		return nil, err.Error()
+	}
+	if req.Seq <= m.seq {
+		// Duplicate of an already-mirrored group (a retried ship whose
+		// ack was lost): idempotent ack iff it matches our history.
+		if d, ok := m.boundaries[req.Seq]; ok && d == req.Digest {
+			b.acked.Inc()
+			return ackPayload(m.seq), ""
+		}
+		b.rejected.Inc()
+		return nil, fmt.Sprintf("repl: divergent duplicate group %d", req.Seq)
+	}
+	if req.Seq != m.seq+1 {
+		b.rejected.Inc()
+		return nil, fmt.Sprintf("repl: group gap: have %d, got %d", m.seq, req.Seq)
+	}
+	if ChainDigest(m.digest, req.Frames) != req.Digest {
+		b.rejected.Inc()
+		return nil, fmt.Sprintf("repl: digest mismatch at group %d", req.Seq)
+	}
+	raw := req.Encode()
+	rec := make([]byte, 4+len(raw))
+	binary.LittleEndian.PutUint32(rec, uint32(len(raw)))
+	copy(rec[4:], raw)
+	if _, err := m.f.Write(rec); err != nil {
+		b.rejected.Inc()
+		return nil, fmt.Sprintf("repl: mirror write: %v", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		b.rejected.Inc()
+		return nil, fmt.Sprintf("repl: mirror sync: %v", err)
+	}
+	m.size += int64(len(rec))
+	m.apply(req)
+	b.acked.Inc()
+	return ackPayload(m.seq), ""
+}
+
+func ackPayload(seq uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, seq)
+}
+
+// StreamState returns the mirror's replicated prefix for one stream:
+// the last contiguous group sequence and the digest at it.
+func (b *Backup) StreamState(primary uint64, stream uint8) (seq uint64, digest [seal.HashSize]byte, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.streams[witnessKey{primary, stream}]
+	if m == nil {
+		return 0, digest, false
+	}
+	return m.seq, m.digest, true
+}
+
+// DigestAt returns the mirror's running digest right after group seq
+// (false if the mirror has no boundary there — shorter, or the
+// boundary fell inside a group, both fork/rollback symptoms).
+func (b *Backup) DigestAt(primary uint64, stream uint8, seq uint64) ([seal.HashSize]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var zero [seal.HashSize]byte
+	m := b.streams[witnessKey{primary, stream}]
+	if m == nil {
+		return zero, false
+	}
+	d, ok := m.boundaries[seq]
+	return d, ok
+}
+
+// Frames returns the mirrored records of one stream in ship order
+// (payloads are the mirror's own copies; callers must not mutate).
+func (b *Backup) Frames(primary uint64, stream uint8) []Frame {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.streams[witnessKey{primary, stream}]
+	if m == nil {
+		return nil
+	}
+	return append([]Frame(nil), m.frames...)
+}
+
+// Close closes every mirror file.
+func (b *Backup) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var first error
+	for _, m := range b.streams {
+		if err := m.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.streams = make(map[witnessKey]*mirror)
+	return first
+}

@@ -61,6 +61,11 @@ type Member struct {
 	Addr string
 }
 
+// NoBackup is the sentinel backup ID for a slot with no replication
+// backup assigned (single-node clusters, or slots orphaned by a
+// promotion that consumed their backup).
+const NoBackup = ^uint64(0)
+
 // Map is one epoch of the shard map.
 type Map struct {
 	// Epoch is the map version, incremented by exactly one per change.
@@ -75,6 +80,12 @@ type Map struct {
 	Members []Member
 	// Slots assigns each hash slot to an owning member ID.
 	Slots [NumSlots]uint64
+	// Backups assigns each hash slot a replication backup member ID
+	// (NoBackup if the slot is unreplicated). The backup is part of the
+	// signed epoch: promotion flips ownership to the backup recorded
+	// here, so which replica is allowed to take over is trust state,
+	// not local configuration.
+	Backups [NumSlots]uint64
 	// Sig authenticates everything above under the CAS's map key.
 	Sig [seal.HashSize]byte
 }
@@ -88,6 +99,17 @@ func KeyFor(networkKey seal.Key) seal.Key {
 
 // SlotOwner returns the member ID owning a slot.
 func (m *Map) SlotOwner(slot int) uint64 { return m.Slots[slot] }
+
+// SlotBackup returns the replication backup of a slot and whether one
+// is assigned. A backup equal to the owner counts as unassigned (the
+// zero value of a hand-built map).
+func (m *Map) SlotBackup(slot int) (uint64, bool) {
+	b := m.Backups[slot]
+	if b == NoBackup || b == m.Slots[slot] {
+		return NoBackup, false
+	}
+	return b, true
+}
 
 // OwnerID returns the member ID owning a key.
 func (m *Map) OwnerID(key []byte) uint64 { return m.Slots[SlotOf(key)] }
@@ -126,6 +148,11 @@ func Uniform(members []Member) *Map {
 	m := &Map{Epoch: 1, Counter: 1, Members: append([]Member(nil), members...)}
 	for s := 0; s < NumSlots; s++ {
 		m.Slots[s] = members[s%len(members)].ID
+		if len(members) > 1 {
+			m.Backups[s] = members[(s+1)%len(members)].ID
+		} else {
+			m.Backups[s] = NoBackup
+		}
 	}
 	return m
 }
@@ -136,7 +163,7 @@ const maxMembers = 1 << 12
 
 // encodeBody serializes everything covered by the signature.
 func (m *Map) encodeBody() []byte {
-	n := 8 + 8 + 2 + NumSlots*8
+	n := 8 + 8 + 2 + NumSlots*16
 	for _, mem := range m.Members {
 		n += 8 + 2 + len(mem.Addr)
 	}
@@ -152,6 +179,9 @@ func (m *Map) encodeBody() []byte {
 	for _, owner := range m.Slots {
 		b = binary.LittleEndian.AppendUint64(b, owner)
 	}
+	for _, backup := range m.Backups {
+		b = binary.LittleEndian.AppendUint64(b, backup)
+	}
 	return b
 }
 
@@ -165,7 +195,7 @@ func (m *Map) Encode() []byte {
 // floor before using the result.
 func DecodeMap(data []byte) (*Map, error) {
 	const fixed = 8 + 8 + 2
-	if len(data) < fixed+NumSlots*8+seal.HashSize {
+	if len(data) < fixed+NumSlots*16+seal.HashSize {
 		return nil, ErrMalformed
 	}
 	m := &Map{
@@ -191,13 +221,14 @@ func DecodeMap(data []byte) (*Map, error) {
 		m.Members = append(m.Members, Member{ID: id, Addr: string(rest[:al])})
 		rest = rest[al:]
 	}
-	if len(rest) != NumSlots*8+seal.HashSize {
+	if len(rest) != NumSlots*16+seal.HashSize {
 		return nil, ErrMalformed
 	}
 	for s := 0; s < NumSlots; s++ {
 		m.Slots[s] = binary.LittleEndian.Uint64(rest[s*8:])
+		m.Backups[s] = binary.LittleEndian.Uint64(rest[(NumSlots+s)*8:])
 	}
-	copy(m.Sig[:], rest[NumSlots*8:])
+	copy(m.Sig[:], rest[NumSlots*16:])
 	return m, nil
 }
 
@@ -246,6 +277,11 @@ func (m *Map) Verify(key seal.Key, minEpoch uint64) error {
 	for s, owner := range m.Slots {
 		if !ids[owner] {
 			return fmt.Errorf("%w: slot %d owned by non-member %d", ErrMalformed, s, owner)
+		}
+	}
+	for s, backup := range m.Backups {
+		if backup != NoBackup && !ids[backup] {
+			return fmt.Errorf("%w: slot %d backed up by non-member %d", ErrMalformed, s, backup)
 		}
 	}
 	return nil

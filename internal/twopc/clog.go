@@ -59,6 +59,19 @@ type ClogEntry struct {
 	Counter uint64
 }
 
+// DecodeClogRecord rebuilds a ClogEntry from a shipped (kind, counter,
+// payload) triple — the form replication mirrors Clog records in.
+func DecodeClogRecord(kind uint8, counter uint64, payload []byte) (ClogEntry, error) {
+	if kind != clogPrepare && kind != clogDecision {
+		return ClogEntry{}, fmt.Errorf("twopc: unknown clog record kind %d", kind)
+	}
+	txID, commit, parts, err := decodeClogPayload(payload)
+	if err != nil {
+		return ClogEntry{}, err
+	}
+	return ClogEntry{Kind: kind, TxID: txID, Commit: commit, Participants: parts, Counter: counter}, nil
+}
+
 // encodeClogPayload serializes an entry body.
 func encodeClogPayload(txID lsm.TxID, commit bool, participants []string) []byte {
 	out := make([]byte, 0, 32)
@@ -141,6 +154,7 @@ type Clog struct {
 	maxGroup int
 	noGroup  bool
 	pool     *mempool.Pool
+	ship     func([]lsm.ReplEntry)
 
 	appendCh chan *clogReq
 	closedMu sync.RWMutex
@@ -302,6 +316,12 @@ type ClogTuning struct {
 	// Pool, when non-nil, backs the group staging buffer with pooled
 	// host-region memory (the framed bytes leave the enclave).
 	Pool *mempool.Pool
+	// Ship, when non-nil, is called once per commit group after the
+	// group's fsync succeeded and before its counters stabilize (same
+	// contract as lsm.Options.Ship): the replication ack — or a durable
+	// degrade mark — must precede the trusted-counter advance. Entries
+	// alias per-request payloads owned by the leader; copy to retain.
+	Ship func([]lsm.ReplEntry)
 }
 
 // Configure applies tuning. It must be called before the first Append:
@@ -313,6 +333,7 @@ func (c *Clog) Configure(t ClogTuning) {
 	}
 	c.noGroup = t.DisableGroupCommit
 	c.pool = t.Pool
+	c.ship = t.Ship
 	if t.Metrics != nil {
 		c.groupSizes = t.Metrics.Histogram("twopc.clog.group_size")
 		c.appends = t.Metrics.Counter("twopc.clog.appends")
@@ -455,6 +476,18 @@ func (c *Clog) commitGroup(group []*clogReq) {
 	}
 	c.synced.Store(maxCtr)
 
+	// Replicate before stabilizing: the backup's ack (or a durable
+	// degrade mark) must exist before the trusted counter pins this
+	// group, so a promoted replica provably holds every stabilized
+	// entry.
+	if c.ship != nil {
+		shipped := make([]lsm.ReplEntry, len(group))
+		for i, req := range group {
+			shipped[i] = lsm.ReplEntry{Kind: req.kind, Counter: req.ctr, Payload: req.payload}
+		}
+		c.ship(shipped)
+	}
+
 	// Clamp stabilization to the synced prefix. By construction maxCtr ==
 	// synced here; the clamp is the structural guard against ever
 	// reintroducing the stabilize-before-durable ordering bug.
@@ -508,6 +541,26 @@ func (c *Clog) retainStaging(buf []byte) {
 // forces every group before stabilizing it, so per-append durability is
 // unconditional and this is a no-op.
 func (c *Clog) EnableSync() {}
+
+// Abandon crash-stops the log: queued and future appends fail without
+// touching the file, and the call returns only after the leader exits,
+// so no write can reach the file afterwards. Crash teardown needs this
+// barrier because coordinator appends run on client goroutines that no
+// scheduler stop can freeze — without it, an abort decision raced by a
+// simulated crash keeps writing into a file the restarted instance now
+// owns, splicing the hash chain mid-log. The file stays open (a crash
+// does not get a clean close), and the poison mark makes a later Close
+// report the teardown instead of a clean shutdown.
+func (c *Clog) Abandon() {
+	c.poison(fmt.Errorf("%w: clog abandoned by crash teardown", lsm.ErrLogPoisoned))
+	if c.closed.Swap(true) {
+		return
+	}
+	c.closedMu.Lock()
+	close(c.appendCh)
+	c.closedMu.Unlock()
+	c.wg.Wait()
+}
 
 // Close drains the leader and closes the log file. A poisoned log never
 // reports a clean close: its tail durability is unknown, and pretending

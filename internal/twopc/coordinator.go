@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,16 @@ import (
 	"treaty/internal/seal"
 	"treaty/internal/shardmap"
 )
+
+// debugAdopt dumps adoption/resolution decisions to stderr
+// (TREATY_DEBUG_PROMOTE=1), for debugging failover soak audits.
+var debugAdopt = os.Getenv("TREATY_DEBUG_PROMOTE") != ""
+
+func debugAdoptf(format string, args ...any) {
+	if debugAdopt {
+		fmt.Fprintf(os.Stderr, "[twopc] "+format+"\n", args...)
+	}
+}
 
 // Errors returned by the coordinator.
 var (
@@ -125,6 +136,7 @@ type coordMetrics struct {
 	recoverRedo         *obs.Counter // prepare re-executed after crash
 	recoverRepushCommit *obs.Counter
 	recoverRepushAbort  *obs.Counter
+	recoverAdopted      *obs.Counter // dead peer's Clog entries adopted at promotion
 
 	stabilizeWait *obs.Histogram // time spent in waitToken
 }
@@ -142,6 +154,7 @@ func newCoordMetrics(m *obs.Registry) coordMetrics {
 		recoverRedo:         m.Counter("twopc.recover.redo_prepare"),
 		recoverRepushCommit: m.Counter("twopc.recover.repush_commit"),
 		recoverRepushAbort:  m.Counter("twopc.recover.repush_abort"),
+		recoverAdopted:      m.Counter("twopc.recover.adopted"),
 		stabilizeWait:       m.Histogram("twopc.stabilize.wait_ns"),
 	}
 }
@@ -786,6 +799,114 @@ func (c *Coordinator) RecoverPending(yield func()) error {
 			c.met.recoverRepushAbort.Inc()
 			_ = t.broadcastRetry(ReqAbort, w.parts, 4)
 			tr.Finish(obs.OutcomeRecovered, "repush_abort")
+		}
+	}
+	return nil
+}
+
+// AdoptRecovered folds a dead peer coordinator's replicated Clog
+// entries into this coordinator and resolves them, exactly as
+// RecoverPending resolves this node's own log after a crash: decided
+// transactions are re-pushed to their participants, undecided prepares
+// are re-driven (participants still holding the prepare re-ACK and the
+// transaction commits; otherwise it aborts — presumed abort is sound
+// because a decision absent from the replicated prefix was never
+// stabilized, hence never acknowledged to anyone). rewrite, when
+// non-nil, maps participant addresses recorded by the dead peer to
+// their current holders (the promoted successor answers for the dead
+// primary's address). Adopted decisions also seed the status table, so
+// participants probing the dead coordinator's transactions get answers
+// from the successor.
+func (c *Coordinator) AdoptRecovered(entries []ClogEntry, rewrite func(string) string, yield func()) error {
+	if rewrite == nil {
+		rewrite = func(a string) string { return a }
+	}
+	type pending struct {
+		id     lsm.TxID
+		parts  []string
+		commit bool
+		redo   bool
+	}
+	byID := make(map[lsm.TxID]*pending)
+	var order []lsm.TxID
+	for _, e := range entries {
+		parts := make([]string, len(e.Participants))
+		for i, a := range e.Participants {
+			parts[i] = rewrite(a)
+		}
+		p := byID[e.TxID]
+		if p == nil {
+			p = &pending{id: e.TxID, redo: true}
+			byID[e.TxID] = p
+			order = append(order, e.TxID)
+		}
+		switch e.Kind {
+		case clogPrepare:
+			p.parts = parts
+		case clogDecision:
+			p.parts = parts
+			p.commit = e.Commit
+			p.redo = false
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return string(order[i][:]) < string(order[j][:]) })
+
+	for _, id := range order {
+		w := byID[id]
+		c.mu.Lock()
+		_, known := c.decisions[id]
+		if !known && w.redo {
+			c.prepared[id] = w.parts
+		}
+		c.mu.Unlock()
+		debugAdoptf("adopt tx=%x redo=%v commit=%v known=%v parts=%v", id, w.redo, w.commit, known, w.parts)
+		if known {
+			continue // this coordinator already resolved it
+		}
+		c.met.recoverAdopted.Inc()
+		_, seq := splitTxID(w.id)
+		// Like RecoverPending: adopted replays carry no DistTxn trace and
+		// never touch the tx.* conservation counters.
+		t := &DistTxn{c: c, id: w.id, seq: seq, parts: map[string]bool{}, yield: yield}
+		tr := c.tracer.Begin(txTraceID(w.id), obs.StageRecover)
+		switch {
+		case w.redo:
+			c.met.recoverRedo.Inc()
+			if _, err := t.broadcast(ReqPrepare, w.parts); err != nil {
+				debugAdoptf("adopt tx=%x redo prepare failed: %v -> abort", id, err)
+				t.decide(false, w.parts)
+				tr.Finish(obs.OutcomeRecovered, "adopt_prepare_aborted")
+				continue
+			}
+			token, err := c.clog.Append(clogDecision, w.id, true, w.parts)
+			if err != nil {
+				return err
+			}
+			if err := t.waitToken(token); err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.decisions[w.id] = true
+			delete(c.prepared, w.id)
+			c.mu.Unlock()
+			_ = t.broadcastRetry(ReqCommit, w.parts, 4)
+			tr.Finish(obs.OutcomeRecovered, "adopt_redo_prepare")
+		case w.commit:
+			c.mu.Lock()
+			c.decisions[w.id] = true
+			c.mu.Unlock()
+			c.met.recoverRepushCommit.Inc()
+			if err := t.broadcastRetry(ReqCommit, w.parts, 4); err != nil {
+				debugAdoptf("adopt tx=%x commit re-push failed: %v", id, err)
+			}
+			tr.Finish(obs.OutcomeRecovered, "adopt_repush_commit")
+		default:
+			c.mu.Lock()
+			c.decisions[w.id] = false
+			c.mu.Unlock()
+			c.met.recoverRepushAbort.Inc()
+			_ = t.broadcastRetry(ReqAbort, w.parts, 4)
+			tr.Finish(obs.OutcomeRecovered, "adopt_repush_abort")
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package twopc
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -647,14 +648,19 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 			// re-derive it server-side from the payload instead.
 			resp, err := erpc.Call(p.ep, addr, ReqTxStatus, md, at.id[:], 2*time.Second, yield)
 			if err != nil || len(resp) == 0 {
+				debugAdoptf("resolve tx=%x coord=%d addr=%s try=%d err=%v", at.id, coordID, addr, try, err)
 				continue
 			}
+			debugAdoptf("resolve tx=%x coord=%d addr=%s try=%d status=%d", at.id, coordID, addr, try, resp[0])
 			switch resp[0] {
 			case StatusCommit:
 				at.mu.Lock()
 				err := at.local.CommitPrepared(at.id)
 				at.mu.Unlock()
-				if err != nil {
+				// ErrTxnDone: the coordinator's own decision push beat
+				// this query to the transaction (it is reachable again
+				// the moment the epoch flips) — already resolved.
+				if err != nil && !errors.Is(err, txn.ErrTxnDone) {
 					return err
 				}
 				p.drop(at.id)
@@ -664,7 +670,7 @@ func (p *Participant) ResolveRecovered(addrOf func(nodeID uint64) string, attemp
 				at.mu.Lock()
 				err := at.local.AbortPrepared(at.id)
 				at.mu.Unlock()
-				if err != nil {
+				if err != nil && !errors.Is(err, txn.ErrTxnDone) {
 					return err
 				}
 				p.drop(at.id)

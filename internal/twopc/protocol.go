@@ -26,6 +26,9 @@ const (
 	// ReqSlotIngest streams one chunk of a hash slot's key range from a
 	// migration source to the destination node (online resharding).
 	ReqSlotIngest
+	// ReqReplShip streams one fsynced commit group of WAL/Clog records
+	// from a shard primary to its replication backup (internal/repl).
+	ReqReplShip
 )
 
 // Transaction status codes returned by ReqTxStatus.

@@ -15,6 +15,46 @@ func testKey() seal.Key {
 	return k
 }
 
+// TestReplCrashPoint sweeps a power cut across both sides of the
+// replication pipeline — ship, ack, stabilize — at every security
+// level: primary images must hold the single-node recovery invariants
+// plus "stabilized ⊆ replicated-and-synced", and backup images must
+// reboot into a verified mirror covering every acked group.
+func TestReplCrashPoint(t *testing.T) {
+	ops := 48
+	if testing.Short() {
+		ops = 14
+	}
+	for _, lv := range []struct {
+		name  string
+		level seal.SecurityLevel
+	}{
+		{"none", seal.LevelNone},
+		{"integrity", seal.LevelIntegrity},
+		{"encrypted", seal.LevelEncrypted},
+	} {
+		lv := lv
+		t.Run(lv.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunRepl(Config{
+				Level:        lv.level,
+				Key:          testKey(),
+				Ops:          ops,
+				PartialTails: true,
+				Logf:         t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PrimaryImages == 0 || res.BackupImages == 0 || res.ShippedGroups == 0 || res.StableChecks == 0 {
+				t.Fatalf("suspicious run: %+v", res)
+			}
+			t.Logf("primary=%d backup=%d replays=%d shipped=%d stableChecks=%d",
+				res.PrimaryImages, res.BackupImages, res.Replays, res.ShippedGroups, res.StableChecks)
+		})
+	}
+}
+
 // TestCrashPoint sweeps a power cut across every durable write site of
 // the full storage stack, at every security level, and asserts the
 // recovery invariants from each resulting image. `make crashpoint` runs
